@@ -1,0 +1,229 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec. V). Each BenchmarkFigN/BenchmarkTableN executes the corresponding
+// experiment from internal/experiments in quick mode and reports its
+// headline quantity as a custom metric, so `go test -bench=.` doubles as
+// the full reproduction sweep. See EXPERIMENTS.md for paper-vs-measured.
+package metronome_test
+
+import (
+	"strconv"
+	"testing"
+
+	"metronome"
+)
+
+// runExperiment executes one registered experiment per benchmark iteration.
+func runExperiment(b *testing.B, id string) []*metronome.ResultTable {
+	b.Helper()
+	var tables []*metronome.ResultTable
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		tables, ok = metronome.RunExperiment(id, true, uint64(i+1))
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+	}
+	return tables
+}
+
+// metric extracts a float cell from a rendered table.
+func metric(b *testing.B, t *metronome.ResultTable, row int, col string) float64 {
+	b.Helper()
+	for ci, c := range t.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(t.Rows[row][ci], 64)
+			if err != nil {
+				b.Fatalf("%s[%d].%s = %q", t.ID, row, col, t.Rows[row][ci])
+			}
+			return v
+		}
+	}
+	b.Fatalf("%s: no column %s", t.ID, col)
+	return 0
+}
+
+func BenchmarkFig1SleepServices(b *testing.B) {
+	t := runExperiment(b, "fig1")[0]
+	b.ReportMetric(metric(b, t, 0, "mean"), "hr_sleep_1us_mean_us")
+	b.ReportMetric(metric(b, t, 1, "mean"), "nanosleep_1us_mean_us")
+}
+
+func BenchmarkFig4VacationPDF(b *testing.B) {
+	t := runExperiment(b, "fig4")[0]
+	b.ReportMetric(metric(b, t, 1, "KS_distance"), "KS_M3")
+}
+
+func BenchmarkTable1VacationTargets(b *testing.B) {
+	t := runExperiment(b, "tab1")[0]
+	b.ReportMetric(metric(b, t, 1, "measured_V_us"), "V_at_target10_us")
+	b.ReportMetric(metric(b, t, 1, "N_V"), "NV_at_target10")
+}
+
+func BenchmarkFig5LatencyCPUvsVbar(b *testing.B) {
+	ts := runExperiment(b, "fig5")
+	b.ReportMetric(metric(b, ts[0], 3, "lat_mean_us"), "lat10G_vbar10_us")
+	b.ReportMetric(metric(b, ts[0], 3, "cpu_pct"), "cpu10G_vbar10_pct")
+}
+
+func BenchmarkFig6BusyTriesVsTL(b *testing.B) {
+	t := runExperiment(b, "fig6")[0]
+	b.ReportMetric(metric(b, t, 2, "busy_tries_pct"), "busytries_TL500_pct")
+}
+
+func BenchmarkFig7BusyTriesVsM(b *testing.B) {
+	t := runExperiment(b, "fig7")[0]
+	b.ReportMetric(metric(b, t, len(t.Rows)-1, "busy_tries_pct"), "busytries_M6_pct")
+}
+
+func BenchmarkFig8LatencyVsM(b *testing.B) {
+	ts := runExperiment(b, "fig8")
+	b.ReportMetric(metric(b, ts[0], 4, "lat_mean_us"), "lat10G_M6_us")
+	b.ReportMetric(metric(b, ts[1], 4, "lat_std_us"), "latstd1G_M6_us")
+}
+
+func BenchmarkFig9Adaptation(b *testing.B) {
+	t := runExperiment(b, "fig9")[0]
+	// apex row: max offered
+	best, bestEst := 0.0, 0.0
+	for r := range t.Rows {
+		off := metric(b, t, r, "offered_mpps")
+		if off > best {
+			best, bestEst = off, metric(b, t, r, "estimated_mpps")
+		}
+	}
+	b.ReportMetric(best, "offered_apex_mpps")
+	b.ReportMetric(bestEst, "estimated_apex_mpps")
+}
+
+func BenchmarkFig10ThreeSystems(b *testing.B) {
+	ts := runExperiment(b, "fig10")
+	cpu := ts[1]
+	b.ReportMetric(metric(b, cpu, 0, "static"), "static_10G_cpu_pct")
+	b.ReportMetric(metric(b, cpu, 0, "metronome"), "metronome_10G_cpu_pct")
+	b.ReportMetric(metric(b, cpu, 0, "xdp"), "xdp_10G_cpu_pct")
+}
+
+func BenchmarkFig11PowerGovernors(b *testing.B) {
+	ts := runExperiment(b, "fig11")
+	// ondemand table first: idle-power gap is the paper's headline 27%.
+	od := ts[0]
+	var met, st float64
+	for r := range od.Rows {
+		if metric(b, od, r, "rate_gbps") == 0 {
+			if od.Rows[r][1] == "metronome" {
+				met = metric(b, od, r, "power_w")
+			} else {
+				st = metric(b, od, r, "power_w")
+			}
+		}
+	}
+	b.ReportMetric((st-met)/st*100, "idle_power_saving_pct")
+}
+
+func BenchmarkTable2SharingThroughput(b *testing.B) {
+	t := runExperiment(b, "tab2")[0]
+	b.ReportMetric(metric(b, t, 0, "with_ferret"), "static_shared_mpps")
+	b.ReportMetric(metric(b, t, 1, "with_ferret"), "metronome_shared_mpps")
+}
+
+func BenchmarkFig12FerretSlowdown(b *testing.B) {
+	t := runExperiment(b, "fig12")[0]
+	b.ReportMetric(metric(b, t, 0, "slowdown"), "static_slowdown_x")
+	b.ReportMetric(metric(b, t, 1, "slowdown"), "metronome_slowdown_x")
+}
+
+func BenchmarkFig13MultiqueueGovernors(b *testing.B) {
+	ts := runExperiment(b, "fig13")
+	// first table: 2 queues, performance; first row: M=2.
+	b.ReportMetric(metric(b, ts[0], 0, "cpu_pct"), "cpu_2q_M2_pct")
+}
+
+func BenchmarkFig14BusyTriesRho(b *testing.B) {
+	ts := runExperiment(b, "fig14")
+	t := ts[0] // 2 queues
+	b.ReportMetric(metric(b, t, 0, "rho_perf"), "rho_2q_perf")
+	b.ReportMetric(metric(b, t, 0, "rho_od"), "rho_2q_ondemand")
+}
+
+func BenchmarkFig15RateSweep(b *testing.B) {
+	t := runExperiment(b, "fig15")[0]
+	b.ReportMetric(metric(b, t, 0, "met_cpu_pct"), "cpu_37mpps_pct")
+	b.ReportMetric(metric(b, t, len(t.Rows)-1, "met_cpu_pct"), "cpu_idle_pct")
+}
+
+func BenchmarkTable3Unbalanced(b *testing.B) {
+	t := runExperiment(b, "tab3")[0]
+	var hotRho float64
+	for r := range t.Rows {
+		if v := metric(b, t, r, "rho"); v > hotRho {
+			hotRho = v
+		}
+	}
+	b.ReportMetric(hotRho, "hot_queue_rho")
+}
+
+func BenchmarkFig16Applications(b *testing.B) {
+	ts := runExperiment(b, "fig16")
+	b.ReportMetric(metric(b, ts[0], 0, "metronome_cpu_pct"), "ipsec_peak_cpu_pct")
+	b.ReportMetric(metric(b, ts[1], len(ts[1].Rows)-1, "metronome_cpu_pct"), "flowatcher_lowrate_cpu_pct")
+}
+
+func BenchmarkAblationTimeouts(b *testing.B) {
+	t := runExperiment(b, "abl-timeouts")[0]
+	b.ReportMetric(metric(b, t, 0, "busy_tries_pct"), "equal_timeout_busytries_pct")
+	b.ReportMetric(metric(b, t, 1, "busy_tries_pct"), "split_timeout_busytries_pct")
+}
+
+func BenchmarkAblationAdaptive(b *testing.B) {
+	t := runExperiment(b, "abl-adaptive")[0]
+	b.ReportMetric(metric(b, t, len(t.Rows)-1, "adaptive_V_us"), "adaptive_V_at_0.5G_us")
+	b.ReportMetric(metric(b, t, len(t.Rows)-1, "fixed_TS10_V_us"), "fixed_V_at_0.5G_us")
+}
+
+func BenchmarkAblationBackupSelection(b *testing.B) {
+	t := runExperiment(b, "abl-backup")[0]
+	b.ReportMetric(metric(b, t, 0, "loss_permille"), "random_loss_permille")
+	b.ReportMetric(metric(b, t, 1, "loss_permille"), "sticky_loss_permille")
+}
+
+func BenchmarkAblationTxBatch(b *testing.B) {
+	t := runExperiment(b, "abl-txbatch")[0]
+	b.ReportMetric(metric(b, t, 0, "lat_std_us"), "batch32_lat_std_us")
+	b.ReportMetric(metric(b, t, 1, "lat_std_us"), "batch1_lat_std_us")
+}
+
+func BenchmarkAblationSleepService(b *testing.B) {
+	t := runExperiment(b, "abl-sleep")[0]
+	b.ReportMetric(metric(b, t, 0, "measured_V_us"), "hrsleep_V_us")
+	b.ReportMetric(metric(b, t, 1, "measured_V_us"), "nanosleep_V_us")
+}
+
+func BenchmarkAblationRobustness(b *testing.B) {
+	t := runExperiment(b, "abl-robust")[0]
+	b.ReportMetric(metric(b, t, 1, "tput_mpps"), "M1_hogged_mpps")
+	b.ReportMetric(metric(b, t, 2, "tput_mpps"), "M3_one_hogged_mpps")
+}
+
+func BenchmarkAblationPoisson(b *testing.B) {
+	t := runExperiment(b, "abl-poisson")[0]
+	b.ReportMetric(metric(b, t, 0, "cpu_pct"), "cbr_linerate_cpu_pct")
+	b.ReportMetric(metric(b, t, 1, "cpu_pct"), "poisson_linerate_cpu_pct")
+}
+
+func BenchmarkAblationBlendCheck(b *testing.B) {
+	t := runExperiment(b, "abl-blend")[0]
+	b.ReportMetric(metric(b, t, 0, "ratio"), "V_measured_over_eq10_linerate")
+}
+
+// BenchmarkSimulateThroughput measures raw simulator speed: virtual
+// line-rate seconds simulated per wall second.
+func BenchmarkSimulateThroughput(b *testing.B) {
+	cfg := metronome.DefaultSimConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		metronome.Simulate(cfg,
+			[]metronome.Traffic{metronome.CBR{PPS: metronome.LineRate64B(10)}},
+			100_000_000, // 0.1 s of virtual time in ns
+		)
+	}
+}

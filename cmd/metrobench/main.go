@@ -1,0 +1,60 @@
+// Command metrobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	metrobench -list
+//	metrobench -run fig10
+//	metrobench -run all -quick
+//
+// Output is the same rows/series the paper reports, as aligned text tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metronome/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
+		seed  = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-12s paper: %s\n", "", e.Paper)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nrun one with: metrobench -run <id> (or -run all)")
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)
+			for _, t := range e.Run(opts) {
+				t.Render(os.Stdout)
+			}
+		}
+		return
+	}
+	e, ok := experiments.ByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "metrobench: unknown experiment %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+	fmt.Printf("--- %s: %s ---\npaper: %s\n\n", e.ID, e.Title, e.Paper)
+	for _, t := range e.Run(opts) {
+		t.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,114 @@
+// Command metropcap generates and inspects the pcap traces used by the
+// multiqueue experiments.
+//
+//	metropcap -gen -out unbalanced.pcap -n 1000 -heavy 0.30
+//	metropcap -info unbalanced.pcap -queues 3
+//
+// -info parses the trace with the FloWatcher engine and reports per-flow
+// statistics plus how RSS would spread the flows over the given queue
+// count — the planning view for a Metronome multiqueue deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metronome/internal/apps/flowatcher"
+	"metronome/internal/mbuf"
+	"metronome/internal/packet"
+	"metronome/internal/pcap"
+)
+
+func main() {
+	var (
+		gen    = flag.Bool("gen", false, "generate a trace")
+		out    = flag.String("out", "unbalanced.pcap", "output path for -gen")
+		n      = flag.Int("n", 1000, "packets to generate")
+		heavy  = flag.Float64("heavy", 0.30, "share of the single heavy flow")
+		pps    = flag.Float64("pps", 1e6, "pacing of the generated trace")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		info   = flag.String("info", "", "trace to inspect")
+		queues = flag.Int("queues", 3, "RSS queue count for the -info split")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pcap.GenerateUnbalanced(f, *n, *heavy, *pps, *seed); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d packets, heavy share %.0f%%, paced at %.2f Mpps\n",
+			*out, *n, *heavy*100, *pps/1e6)
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		records, err := pcap.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+		inspect(records, *queues)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func inspect(records []pcap.Record, queues int) {
+	mon := flowatcher.New()
+	pool := mbuf.NewPool(2)
+	m, err := pool.Get()
+	if err != nil {
+		fatal(err)
+	}
+	idx := 0
+	mon.Clock = func() float64 { return records[idx].TS }
+	for i, rec := range records {
+		idx = i
+		m.SetFrame(rec.Data)
+		mon.Process(m)
+	}
+	m.Free()
+
+	span := 0.0
+	if len(records) > 1 {
+		span = records[len(records)-1].TS - records[0].TS
+	}
+	fmt.Printf("packets: %d (%d malformed)   flows: %d   span: %.3fs\n",
+		mon.Packets, mon.Malformed, len(mon.Flows), span)
+	fmt.Printf("sizes: mean %.1fB [%0.f..%0.f]\n",
+		mon.Sizes.Mean(), mon.Sizes.Min(), mon.Sizes.Max())
+
+	fmt.Println("\ntop flows:")
+	for i, k := range mon.TopK(5) {
+		fs := mon.Flows[k]
+		fmt.Printf("  #%d %-44v pkts=%-6d (%.1f%%)\n",
+			i+1, k, fs.Packets, 100*float64(fs.Packets)/float64(mon.Packets))
+	}
+
+	rss := packet.NewToeplitz(packet.DefaultRSSKey)
+	perQueue := make([]int64, queues)
+	for k, fs := range mon.Flows {
+		perQueue[rss.QueueFor(k, queues)] += fs.Packets
+	}
+	fmt.Printf("\nRSS split over %d queues:\n", queues)
+	for q, c := range perQueue {
+		fmt.Printf("  queue %d: %6d packets (%.1f%%)\n",
+			q, c, 100*float64(c)/float64(mon.Packets))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metropcap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command metrosim runs one parameterized Metronome simulation and prints
+// its steady-state metrics — the quickest way to explore the design space
+// (threads, timeouts, queues, load) without writing code.
+//
+// Example:
+//
+//	metrosim -gbps 10 -m 3 -vbar 10us -tl 500us -dur 1s
+//	metrosim -mpps 37 -queues 4 -m 5 -vbar 15us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"metronome"
+	"metronome/internal/trace"
+)
+
+func main() {
+	var (
+		gbps    = flag.Float64("gbps", 0, "offered load in Gbit/s of 64B frames (overrides -mpps)")
+		mpps    = flag.Float64("mpps", 14.88, "offered load in Mpps")
+		m       = flag.Int("m", 3, "number of Metronome threads")
+		queues  = flag.Int("queues", 1, "number of Rx queues (load split evenly)")
+		vbar    = flag.Duration("vbar", 10*time.Microsecond, "target vacation period")
+		tl      = flag.Duration("tl", 500*time.Microsecond, "backup (long) timeout")
+		mu      = flag.Float64("mu", 29.76, "service rate, Mpps (l3fwd=29.76, ipsec=5.61, flowatcher=28)")
+		d       = flag.Duration("dur", time.Second, "virtual duration to simulate")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		fixed   = flag.Duration("fixed-ts", 0, "disable adaptation and use this fixed TS")
+		doTrace = flag.Bool("trace", false, "print a 1ms thread-state timeline (Fig 3 style)")
+	)
+	flag.Parse()
+
+	pps := *mpps * 1e6
+	if *gbps > 0 {
+		pps = metronome.LineRate64B(*gbps)
+	}
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = *m
+	cfg.VBar = vbar.Seconds()
+	cfg.TL = tl.Seconds()
+	cfg.Mu = *mu * 1e6
+	cfg.Seed = *seed
+	if *fixed > 0 {
+		cfg.Adaptive = false
+		cfg.TSFixed = fixed.Seconds()
+	}
+	if *queues < 1 || *m < *queues {
+		fmt.Fprintln(os.Stderr, "metrosim: need queues >= 1 and m >= queues")
+		os.Exit(1)
+	}
+	arrivals := make([]metronome.Traffic, *queues)
+	for i := range arrivals {
+		arrivals[i] = metronome.CBR{PPS: pps / float64(*queues)}
+	}
+
+	var rec *trace.Recorder
+	if *doTrace {
+		// record a 1ms window from the middle of the run
+		mid := d.Seconds() / 2
+		rec = trace.NewRecorder(mid, mid+1e-3)
+		cfg.Tracer = rec
+	}
+
+	met := metronome.Simulate(cfg, arrivals, *d)
+
+	if rec != nil {
+		rec.Render(os.Stdout, 110)
+		fmt.Println()
+	}
+
+	fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v\n", pps/1e6, *queues, *d)
+	fmt.Printf("throughput:     %.2f Mpps   loss: %.4f permille\n", met.ThroughputPPS/1e6, met.LossRate*1000)
+	fmt.Printf("cpu:            %.1f%% total across %d threads (static polling would be %d00%%)\n",
+		met.CPUPercent, *m, *queues)
+	fmt.Printf("vacation:       mean %.2f us (target %v)\n", met.MeanVacation*1e6, *vbar)
+	fmt.Printf("busy period:    mean %.2f us   N_V: %.1f pkts\n", met.MeanBusy*1e6, met.MeanNV)
+	fmt.Printf("latency (us):   min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f mean=%.2f (n=%d tagged)\n",
+		met.Latency.Min*1e6, met.Latency.Q1*1e6, met.Latency.Median*1e6,
+		met.Latency.Q3*1e6, met.Latency.Max*1e6, met.Latency.Mean*1e6, met.Latency.N)
+	fmt.Printf("busy tries:     %.1f%% of %d lock attempts, %d cycles\n",
+		met.BusyTryFrac*100, met.Tries, met.Cycles)
+	for q := range arrivals {
+		fmt.Printf("queue %d:        rho=%.3f  TS=%.2f us\n", q, met.RhoEst[q], met.TSNow[q]*1e6)
+	}
+}

@@ -1,0 +1,111 @@
+// IPsec security gateway on Metronome: ESP tunnel-mode encryption
+// (AES-128-CBC + HMAC-SHA1-96) of every packet crossing the gateway, with
+// the retrieval threads sleeping adaptively between bursts.
+//
+// The demo encrypts outbound traffic for 2 seconds, then replays the
+// encrypted stream back through the gateway to decapsulate it, verifying
+// integrity end to end — the same inbound+outbound roles the paper's
+// ipsec-secgw plays.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"metronome"
+	"metronome/internal/apps"
+	"metronome/internal/apps/ipsecgw"
+	"metronome/internal/packet"
+)
+
+func main() {
+	pool := metronome.NewPool(8192)
+	rx, err := metronome.NewRing(4096)
+	if err != nil {
+		panic(err)
+	}
+
+	gw := ipsecgw.New(99)
+	sa := &ipsecgw.SA{
+		SPI:       0xbeef,
+		EncKey:    [16]byte{0: 1, 5: 2, 15: 3},
+		AuthKey:   [20]byte{0: 4, 10: 5, 19: 6},
+		TunnelSrc: packet.AddrFrom4(192, 0, 2, 1),
+		TunnelDst: packet.AddrFrom4(198, 51, 100, 7),
+	}
+	if err := gw.AddSA(sa, packet.AddrFrom4(10, 0, 0, 0), 8); err != nil {
+		panic(err)
+	}
+
+	// Encrypted packets loop back into the same ring for decapsulation,
+	// exactly like a gateway fed by both sides of the tunnel.
+	var encap, decap, drop atomic.Uint64
+	var loopback func(m *metronome.Mbuf)
+	handler := func(batch []*metronome.Mbuf) {
+		for _, m := range batch {
+			var p packet.Parsed
+			inbound := p.Parse(m.Bytes()) == nil && p.IP.Protocol == packet.ProtoESP
+			switch gw.Process(m) {
+			case apps.Forward:
+				if inbound {
+					decap.Add(1)
+					m.Free()
+				} else {
+					encap.Add(1)
+					loopback(m)
+				}
+			default:
+				drop.Add(1)
+				m.Free()
+			}
+		}
+	}
+	loopback = func(m *metronome.Mbuf) {
+		if !rx.Enqueue(m) {
+			m.Free()
+		}
+	}
+
+	runner := metronome.NewRunner(
+		[]metronome.RxQueue{metronome.RingQueue{R: rx}},
+		handler,
+		metronome.RunnerConfig{M: 3, VBar: 200 * time.Microsecond, Seed: 3},
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	go runner.Run(ctx)
+
+	// Produce cleartext packets destined for the protected subnet.
+	buf := make([]byte, 256)
+	sent := 0
+	for ctx.Err() == nil {
+		m, err := pool.Get()
+		if err != nil {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		frame, _ := packet.BuildUDP(buf, 80,
+			packet.AddrFrom4(172, 16, 0, byte(sent%250+1)),
+			packet.AddrFrom4(10, 1, 2, byte(sent%250+1)),
+			uint16(1024+sent%1000), 4500)
+		m.SetFrame(frame)
+		if !rx.Enqueue(m) {
+			m.Free()
+		} else {
+			sent++
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	fmt.Printf("cleartext sent:   %d\n", sent)
+	fmt.Printf("encapsulated:     %d (ESP tunnel mode, AES-128-CBC + HMAC-SHA1-96)\n", encap.Load())
+	fmt.Printf("decapsulated:     %d (authenticated and decrypted)\n", decap.Load())
+	fmt.Printf("dropped:          %d (auth failures: %d, replays: %d)\n",
+		drop.Load(), gw.AuthFailures, gw.Replays)
+	fmt.Printf("load estimate:    rho=%.3f TS=%v\n", runner.Rho(0), runner.TS(0).Round(10*time.Microsecond))
+	fmt.Println("\nthe paper reaches the same 5.61 Mpps ceiling with Metronome as with")
+	fmt.Println("static polling — at this rate one thread simply never releases the lock.")
+}

@@ -1,0 +1,55 @@
+// Multiqueue capacity exploration with the simulation API: the 40 GbE
+// scenario of Sec. IV-E/V-F, where RSS splits line-rate traffic over N
+// queues and M >= N threads share all of them.
+//
+// The demo sweeps thread counts for a 4-queue XL710-class deployment at
+// 37 Mpps and prints the CPU/busy-try trade-off, then shows the unbalanced
+// case where one queue carries 53% of the traffic.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"metronome"
+	"metronome/internal/traffic"
+)
+
+func main() {
+	const totalMpps = 37.0
+
+	fmt.Println("== balanced: 4 queues, 37 Mpps, V̄=15us ==")
+	fmt.Printf("%-8s %-10s %-12s %-10s %-8s\n", "threads", "cpu_pct", "busytries_%", "loss_‰", "rho")
+	for m := 4; m <= 8; m++ {
+		cfg := metronome.DefaultSimConfig()
+		cfg.M = m
+		cfg.VBar = 15e-6
+		cfg.Seed = uint64(m)
+		arrivals := make([]metronome.Traffic, 4)
+		for i := range arrivals {
+			arrivals[i] = metronome.CBR{PPS: totalMpps * 1e6 / 4}
+		}
+		met := metronome.Simulate(cfg, arrivals, 400*time.Millisecond)
+		fmt.Printf("%-8d %-10.1f %-12.1f %-10.4f %-8.3f\n",
+			m, met.CPUPercent, met.BusyTryFrac*100, met.LossRate*1000, met.RhoEst[0])
+	}
+	fmt.Println("(static DPDK needs 4 dedicated cores: 400% CPU, flat)")
+
+	fmt.Println("\n== unbalanced: 3 queues, one flow carries 30% of the line ==")
+	shares := traffic.UnbalancedShares(0.30, 3)
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 5
+	cfg.VBar = 15e-6
+	cfg.Seed = 99
+	arrivals := make([]metronome.Traffic, 3)
+	for i, s := range shares {
+		arrivals[i] = metronome.CBR{PPS: totalMpps * 1e6 * s}
+	}
+	met := metronome.Simulate(cfg, arrivals, 400*time.Millisecond)
+	for q, s := range shares {
+		fmt.Printf("queue %d: share=%4.1f%%  rho=%.3f  TS=%.1fus\n",
+			q, s*100, met.RhoEst[q], met.TSNow[q]*1e6)
+	}
+	fmt.Printf("loss: %.4f permille — the per-queue TS rule (eq 14) absorbs the skew\n",
+		met.LossRate*1000)
+}

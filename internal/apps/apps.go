@@ -1,0 +1,38 @@
+// Package apps defines the contract between packet-processing applications
+// and the two Metronome runtimes. Each application processes real frames
+// (exercised by its own tests and the real-time runtime) and publishes a
+// calibrated per-packet cycle cost, which the simulator converts into the
+// service rate µ of the analytical model.
+package apps
+
+import "metronome/internal/mbuf"
+
+// Verdict is what an application decides for one packet.
+type Verdict int
+
+const (
+	// Drop discards the packet (no route, failed authentication, ...).
+	Drop Verdict = iota
+	// Forward sends the packet out of the port in Mbuf.Meta.
+	Forward
+	// Consume keeps the packet (monitoring applications).
+	Consume
+)
+
+// Processor is a run-to-completion packet application.
+type Processor interface {
+	// Name identifies the application in reports.
+	Name() string
+	// Process handles one packet and returns its verdict. Implementations
+	// must not retain m past the call.
+	Process(m *mbuf.Mbuf) Verdict
+	// CyclesPerPacket is the calibrated per-packet CPU cost used by the
+	// simulator; see EXPERIMENTS.md for the calibration table.
+	CyclesPerPacket() float64
+}
+
+// ServiceRate converts a processor's cycle cost into a service rate µ
+// (packets/second) at the given core frequency in GHz.
+func ServiceRate(p Processor, freqGHz float64) float64 {
+	return freqGHz * 1e9 / p.CyclesPerPacket()
+}

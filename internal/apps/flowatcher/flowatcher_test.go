@@ -1,0 +1,197 @@
+package flowatcher
+
+import (
+	"testing"
+
+	"metronome/internal/apps"
+	"metronome/internal/mbuf"
+	"metronome/internal/packet"
+	"metronome/internal/traffic"
+	"metronome/internal/xrand"
+)
+
+func feed(t *testing.T, m *Monitor, gen *traffic.FrameGen, n int) {
+	t.Helper()
+	pool := mbuf.NewPool(2)
+	buf, _ := pool.Get()
+	defer buf.Free()
+	for i := 0; i < n; i++ {
+		frame, _ := gen.Next()
+		buf.SetFrame(frame)
+		if v := m.Process(buf); v != apps.Consume {
+			t.Fatalf("verdict = %v", v)
+		}
+	}
+}
+
+func TestExactCountsMatchOffered(t *testing.T) {
+	m := New()
+	gen := traffic.NewFrameGen(1, 8, 64)
+	feed(t, m, gen, 5000)
+	if m.Packets != 5000 {
+		t.Fatalf("packets = %d", m.Packets)
+	}
+	var total int64
+	for _, fs := range m.Flows {
+		total += fs.Packets
+	}
+	if total != 5000 {
+		t.Fatalf("per-flow sum = %d", total)
+	}
+	if len(m.Flows) != 8 {
+		t.Fatalf("flows = %d, want 8", len(m.Flows))
+	}
+}
+
+func TestFlowStatsFields(t *testing.T) {
+	m := New()
+	tick := 0.0
+	m.Clock = func() float64 { tick += 0.001; return tick }
+	pool := mbuf.NewPool(2)
+	b, _ := pool.Get()
+	defer b.Free()
+	frameBuf := make([]byte, 2048)
+	k := packet.FlowKey{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: packet.ProtoUDP}
+	for _, size := range []int{64, 128, 96} {
+		f, _ := packet.BuildUDP(frameBuf, size, k.Src, k.Dst, k.SrcPort, k.DstPort)
+		b.SetFrame(f)
+		m.Process(b)
+	}
+	fs := m.Flows[k]
+	if fs == nil {
+		t.Fatal("flow missing")
+	}
+	if fs.Packets != 3 || fs.Bytes != 64+128+96 {
+		t.Errorf("pkts=%d bytes=%d", fs.Packets, fs.Bytes)
+	}
+	if fs.MinSize != 64 || fs.MaxSize != 128 {
+		t.Errorf("min=%d max=%d", fs.MinSize, fs.MaxSize)
+	}
+	if !(fs.FirstSeen < fs.LastSeen) {
+		t.Error("timestamps not ordered")
+	}
+	if m.Interarrival.N() != 2 {
+		t.Errorf("interarrival samples = %d", m.Interarrival.N())
+	}
+}
+
+func TestSketchNeverUndercounts(t *testing.T) {
+	m := New()
+	gen := traffic.NewFrameGen(2, 32, 64)
+	feed(t, m, gen, 20000)
+	for k, fs := range m.Flows {
+		if est := m.Sketch.Estimate(k); int64(est) < fs.Packets {
+			t.Fatalf("sketch undercounts %v: %d < %d", k, est, fs.Packets)
+		}
+	}
+}
+
+func TestSketchAccuracyAtScale(t *testing.T) {
+	// With 4x16384 counters and 32 flows, estimates should be near-exact.
+	m := New()
+	gen := traffic.NewFrameGen(3, 32, 64)
+	feed(t, m, gen, 20000)
+	for k, fs := range m.Flows {
+		est := int64(m.Sketch.Estimate(k))
+		if est > fs.Packets+fs.Packets/10+5 {
+			t.Fatalf("sketch grossly overcounts: %d vs %d", est, fs.Packets)
+		}
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	m := New()
+	pool := mbuf.NewPool(2)
+	b, _ := pool.Get()
+	defer b.Free()
+	frameBuf := make([]byte, 2048)
+	counts := map[int]int{0: 50, 1: 30, 2: 10}
+	for flow, n := range counts {
+		for i := 0; i < n; i++ {
+			f, _ := packet.BuildUDP(frameBuf, 64, packet.Addr(flow+1), 9, uint16(flow+100), 200)
+			b.SetFrame(f)
+			m.Process(b)
+		}
+	}
+	top := m.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("topk len = %d", len(top))
+	}
+	if m.Flows[top[0]].Packets != 50 || m.Flows[top[1]].Packets != 30 {
+		t.Errorf("topk order wrong: %d, %d", m.Flows[top[0]].Packets, m.Flows[top[1]].Packets)
+	}
+	if got := m.TopK(10); len(got) != 3 {
+		t.Errorf("topk clamping: %d", len(got))
+	}
+}
+
+func TestUnbalancedMixStatistics(t *testing.T) {
+	// The Table III workload: 30% one flow, 70% spread. The monitor must
+	// see the heavy hitter on top with ~30% of packets.
+	m := New()
+	r := xrand.New(4)
+	gen := traffic.NewFrameGen(5, 64, 64)
+	pool := mbuf.NewPool(2)
+	b, _ := pool.Get()
+	defer b.Free()
+	heavy := packet.FlowKey{Src: 9, Dst: 10, SrcPort: 11, DstPort: 12, Proto: packet.ProtoUDP}
+	frameBuf := make([]byte, 2048)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.30) {
+			f, _ := packet.BuildUDP(frameBuf, 64, heavy.Src, heavy.Dst, heavy.SrcPort, heavy.DstPort)
+			b.SetFrame(f)
+		} else {
+			f, _ := gen.Next()
+			b.SetFrame(f)
+		}
+		m.Process(b)
+	}
+	top := m.TopK(1)
+	if top[0] != heavy {
+		t.Fatal("heavy hitter not identified")
+	}
+	share := float64(m.Flows[heavy].Packets) / float64(n)
+	if share < 0.28 || share > 0.32 {
+		t.Errorf("heavy share = %v, want ~0.30", share)
+	}
+}
+
+func TestMalformedCounted(t *testing.T) {
+	m := New()
+	pool := mbuf.NewPool(2)
+	b, _ := pool.Get()
+	defer b.Free()
+	b.SetFrame([]byte{1, 2, 3, 4})
+	if v := m.Process(b); v != apps.Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+	if m.Malformed != 1 || m.Packets != 0 {
+		t.Errorf("malformed=%d packets=%d", m.Malformed, m.Packets)
+	}
+}
+
+func TestServiceRateCalibration(t *testing.T) {
+	mu := apps.ServiceRate(New(), 2.1)
+	if mu < 27e6 || mu > 29e6 {
+		t.Errorf("flowatcher service rate = %v, want ~28 Mpps", mu)
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	m := New()
+	gen := traffic.NewFrameGen(6, 1024, 64)
+	pool := mbuf.NewPool(2)
+	mb, _ := pool.Get()
+	frames := make([][]byte, 1024)
+	for i := range frames {
+		f, _ := gen.Next()
+		frames[i] = append([]byte(nil), f...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb.SetFrame(frames[i&1023])
+		m.Process(mb)
+	}
+}

@@ -1,0 +1,298 @@
+// Package ipsecgw reimplements DPDK's IPsec Security Gateway sample
+// application as evaluated in the paper: ESP tunnel mode with AES-128-CBC
+// encryption and HMAC-SHA1-96 authentication (the paper offloads crypto to
+// the NIC; here the stdlib crypto runs inline, and the calibrated cycle
+// cost reproduces the observed 5.61 Mpps ceiling).
+package ipsecgw
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"metronome/internal/apps"
+	"metronome/internal/mbuf"
+	"metronome/internal/packet"
+	"metronome/internal/xrand"
+)
+
+// cyclesPerPacket calibrates the gateway's per-packet cost at 2.1 GHz so
+// that µ = 5.61 Mpps, the paper's measured outbound ceiling for 64B frames
+// (Sec. V-G): 2.1e9 / 5.61e6 ≈ 374 cycles.
+const cyclesPerPacket = 374
+
+const (
+	espHeaderLen  = 8 // SPI + sequence
+	ivLen         = aes.BlockSize
+	icvLen        = 12 // HMAC-SHA1-96
+	espTrailerMin = 2  // pad length + next header
+
+	nextHeaderIPv4 = 4
+)
+
+var (
+	ErrNoSA      = errors.New("ipsecgw: no SA for packet")
+	ErrAuth      = errors.New("ipsecgw: ICV verification failed")
+	ErrMalformed = errors.New("ipsecgw: malformed ESP payload")
+	ErrReplay    = errors.New("ipsecgw: replayed sequence number")
+)
+
+// SA is one security association.
+type SA struct {
+	SPI     uint32
+	EncKey  [16]byte // AES-128
+	AuthKey [20]byte // HMAC-SHA1
+	// Tunnel endpoints for the outer IPv4 header.
+	TunnelSrc, TunnelDst packet.Addr
+
+	seq    uint32 // outbound sequence
+	window replayWindow
+	block  cipher.Block
+}
+
+func (sa *SA) init() error {
+	b, err := aes.NewCipher(sa.EncKey[:])
+	if err != nil {
+		return err
+	}
+	sa.block = b
+	return nil
+}
+
+// replayWindow is a 64-packet anti-replay bitmap (RFC 4303 style).
+type replayWindow struct {
+	top  uint32
+	bits uint64
+}
+
+// check validates and slides the window; it returns false for replays or
+// stale packets.
+func (w *replayWindow) check(seq uint32) bool {
+	if seq == 0 {
+		return false
+	}
+	if seq > w.top {
+		shift := seq - w.top
+		if shift >= 64 {
+			w.bits = 0
+		} else {
+			w.bits <<= shift
+		}
+		w.bits |= 1
+		w.top = seq
+		return true
+	}
+	off := w.top - seq
+	if off >= 64 {
+		return false
+	}
+	mask := uint64(1) << off
+	if w.bits&mask != 0 {
+		return false
+	}
+	w.bits |= mask
+	return true
+}
+
+// Gateway is the security gateway: outbound flows are matched to SAs by
+// destination subnet; inbound ESP packets are matched by SPI.
+type Gateway struct {
+	bySPI map[uint32]*SA
+	// Outbound policy: ordered list of (prefix, maskLen) -> SA.
+	policies []policy
+	rng      *xrand.Rand
+
+	Encapsulated, Decapsulated int64
+	AuthFailures, PolicyMisses int64
+	Replays                    int64
+}
+
+type policy struct {
+	prefix packet.Addr
+	maskLn int
+	sa     *SA
+}
+
+// New builds an empty gateway; seed drives IV generation.
+func New(seed uint64) *Gateway {
+	return &Gateway{bySPI: map[uint32]*SA{}, rng: xrand.New(seed)}
+}
+
+// AddSA registers an SA and an outbound policy routing prefix/len into it.
+func (g *Gateway) AddSA(sa *SA, prefix packet.Addr, maskLen int) error {
+	if err := sa.init(); err != nil {
+		return err
+	}
+	if _, dup := g.bySPI[sa.SPI]; dup {
+		return fmt.Errorf("ipsecgw: duplicate SPI %d", sa.SPI)
+	}
+	g.bySPI[sa.SPI] = sa
+	g.policies = append(g.policies, policy{prefix: prefix, maskLn: maskLen, sa: sa})
+	return nil
+}
+
+func maskOf(length int) packet.Addr {
+	if length <= 0 {
+		return 0
+	}
+	return packet.Addr(^uint32(0) << (32 - uint(length)))
+}
+
+func (g *Gateway) lookupPolicy(dst packet.Addr) *SA {
+	var best *policy
+	for i := range g.policies {
+		p := &g.policies[i]
+		if dst&maskOf(p.maskLn) == p.prefix {
+			if best == nil || p.maskLn > best.maskLn {
+				best = p
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.sa
+}
+
+// Name implements apps.Processor.
+func (g *Gateway) Name() string { return "ipsec-secgw" }
+
+// CyclesPerPacket implements apps.Processor.
+func (g *Gateway) CyclesPerPacket() float64 { return cyclesPerPacket }
+
+// Process implements apps.Processor: ESP packets addressed to us are
+// decapsulated; everything else is matched against outbound policy and
+// encapsulated.
+func (g *Gateway) Process(m *mbuf.Mbuf) apps.Verdict {
+	var p packet.Parsed
+	if err := p.Parse(m.Bytes()); err != nil {
+		g.PolicyMisses++
+		return apps.Drop
+	}
+	if p.IP.Protocol == packet.ProtoESP {
+		if err := g.decap(m, &p); err != nil {
+			return apps.Drop
+		}
+		return apps.Forward
+	}
+	if err := g.encap(m, &p); err != nil {
+		return apps.Drop
+	}
+	return apps.Forward
+}
+
+// Encap performs outbound tunnel-mode ESP on the frame in m.
+func (g *Gateway) encap(m *mbuf.Mbuf, p *packet.Parsed) error {
+	sa := g.lookupPolicy(p.IP.Dst)
+	if sa == nil {
+		g.PolicyMisses++
+		return ErrNoSA
+	}
+	frame := m.Bytes()
+	inner := frame[packet.EthHeaderLen:] // whole inner IPv4 packet
+	innerLen := int(p.IP.TotalLen)
+	inner = inner[:innerLen]
+
+	// ESP payload: inner || padding || padLen || nextHeader.
+	padLen := (aes.BlockSize - (innerLen+espTrailerMin)%aes.BlockSize) % aes.BlockSize
+	ptLen := innerLen + padLen + espTrailerMin
+	plaintext := make([]byte, ptLen)
+	copy(plaintext, inner)
+	for i := 0; i < padLen; i++ {
+		plaintext[innerLen+i] = byte(i + 1) // RFC 4303 monotonic pad
+	}
+	plaintext[ptLen-2] = byte(padLen)
+	plaintext[ptLen-1] = nextHeaderIPv4
+
+	sa.seq++
+	var iv [ivLen]byte
+	binary.BigEndian.PutUint64(iv[:8], g.rng.Uint64())
+	binary.BigEndian.PutUint64(iv[8:], g.rng.Uint64())
+
+	ct := make([]byte, ptLen)
+	cipher.NewCBCEncrypter(sa.block, iv[:]).CryptBlocks(ct, plaintext)
+
+	// Assemble: outer IP | ESP hdr | IV | ct | ICV.
+	espLen := espHeaderLen + ivLen + ptLen + icvLen
+	outLen := packet.EthHeaderLen + packet.IPv4HeaderLen + espLen
+	out := make([]byte, outLen)
+	copy(out, frame[:packet.EthHeaderLen]) // keep L2
+	outer := packet.IPv4{
+		TotalLen: uint16(packet.IPv4HeaderLen + espLen),
+		TTL:      64,
+		Protocol: packet.ProtoESP,
+		Src:      sa.TunnelSrc,
+		Dst:      sa.TunnelDst,
+	}
+	if err := outer.SerializeTo(out[packet.EthHeaderLen:]); err != nil {
+		return err
+	}
+	esp := out[packet.EthHeaderLen+packet.IPv4HeaderLen:]
+	binary.BigEndian.PutUint32(esp[0:4], sa.SPI)
+	binary.BigEndian.PutUint32(esp[4:8], sa.seq)
+	copy(esp[espHeaderLen:], iv[:])
+	copy(esp[espHeaderLen+ivLen:], ct)
+
+	mac := hmac.New(sha1.New, sa.AuthKey[:])
+	mac.Write(esp[:espHeaderLen+ivLen+ptLen])
+	copy(esp[espHeaderLen+ivLen+ptLen:], mac.Sum(nil)[:icvLen])
+
+	m.SetFrame(out)
+	g.Encapsulated++
+	return nil
+}
+
+// Decap performs inbound ESP processing, restoring the inner packet.
+func (g *Gateway) decap(m *mbuf.Mbuf, p *packet.Parsed) error {
+	frame := m.Bytes()
+	esp := frame[packet.EthHeaderLen+packet.IPv4HeaderLen : packet.EthHeaderLen+int(p.IP.TotalLen)]
+	if len(esp) < espHeaderLen+ivLen+aes.BlockSize+icvLen {
+		g.PolicyMisses++
+		return ErrMalformed
+	}
+	spi := binary.BigEndian.Uint32(esp[0:4])
+	seq := binary.BigEndian.Uint32(esp[4:8])
+	sa := g.bySPI[spi]
+	if sa == nil {
+		g.PolicyMisses++
+		return ErrNoSA
+	}
+	authed := esp[:len(esp)-icvLen]
+	mac := hmac.New(sha1.New, sa.AuthKey[:])
+	mac.Write(authed)
+	if !hmac.Equal(mac.Sum(nil)[:icvLen], esp[len(esp)-icvLen:]) {
+		g.AuthFailures++
+		return ErrAuth
+	}
+	if !sa.window.check(seq) {
+		g.Replays++
+		return ErrReplay
+	}
+	iv := esp[espHeaderLen : espHeaderLen+ivLen]
+	ct := esp[espHeaderLen+ivLen : len(esp)-icvLen]
+	if len(ct)%aes.BlockSize != 0 {
+		g.PolicyMisses++
+		return ErrMalformed
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(sa.block, iv).CryptBlocks(pt, ct)
+	padLen := int(pt[len(pt)-2])
+	next := pt[len(pt)-1]
+	if next != nextHeaderIPv4 || padLen+espTrailerMin > len(pt) {
+		g.PolicyMisses++
+		return ErrMalformed
+	}
+	inner := pt[:len(pt)-espTrailerMin-padLen]
+	out := make([]byte, packet.EthHeaderLen+len(inner))
+	copy(out, frame[:packet.EthHeaderLen])
+	copy(out[packet.EthHeaderLen:], inner)
+	m.SetFrame(out)
+	g.Decapsulated++
+	return nil
+}
+
+var _ apps.Processor = (*Gateway)(nil)

@@ -1,0 +1,319 @@
+package l3fwd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metronome/internal/apps"
+	"metronome/internal/mbuf"
+	"metronome/internal/packet"
+	"metronome/internal/xrand"
+)
+
+func addr(a, b, c, d byte) packet.Addr { return packet.AddrFrom4(a, b, c, d) }
+
+func TestLPMBasicLookup(t *testing.T) {
+	l := NewLPM()
+	if err := l.Add(addr(10, 0, 0, 0), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(addr(10, 1, 0, 0), 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(addr(10, 1, 2, 0), 24, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(addr(10, 1, 2, 3), 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ip  packet.Addr
+		hop uint16
+		ok  bool
+	}{
+		{addr(10, 9, 9, 9), 1, true},  // /8
+		{addr(10, 1, 9, 9), 2, true},  // /16 beats /8
+		{addr(10, 1, 2, 9), 3, true},  // /24 beats /16
+		{addr(10, 1, 2, 3), 4, true},  // /32 beats /24
+		{addr(11, 0, 0, 1), 0, false}, // no route
+		{addr(9, 255, 255, 255), 0, false},
+	}
+	for _, c := range cases {
+		hop, ok := l.Lookup(c.ip)
+		if ok != c.ok || (ok && hop != c.hop) {
+			t.Errorf("Lookup(%v) = %d,%v want %d,%v", c.ip, hop, ok, c.hop, c.ok)
+		}
+	}
+}
+
+func TestLPMDefaultRoute(t *testing.T) {
+	l := NewLPM()
+	if err := l.Add(0, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, ip := range []packet.Addr{0, addr(1, 2, 3, 4), ^packet.Addr(0)} {
+		if hop, ok := l.Lookup(ip); !ok || hop != 7 {
+			t.Errorf("default route missed for %v", ip)
+		}
+	}
+}
+
+func TestLPMInsertionOrderIndependence(t *testing.T) {
+	// Installing /8 after a /32 must not clobber the /32.
+	l := NewLPM()
+	if err := l.Add(addr(10, 1, 2, 3), 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(addr(10, 0, 0, 0), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hop, ok := l.Lookup(addr(10, 1, 2, 3)); !ok || hop != 4 {
+		t.Errorf("/32 lost after later /8 insert: %d", hop)
+	}
+	if hop, ok := l.Lookup(addr(10, 1, 2, 4)); !ok || hop != 1 {
+		t.Errorf("/8 coverage broken: %d", hop)
+	}
+	// And the reverse case for a deep (>24) pair.
+	l2 := NewLPM()
+	l2.Add(addr(20, 0, 0, 128), 25, 9)
+	l2.Add(addr(20, 0, 0, 0), 24, 8)
+	if hop, _ := l2.Lookup(addr(20, 0, 0, 200)); hop != 9 {
+		t.Errorf("/25 lost after later /24: %d", hop)
+	}
+	if hop, _ := l2.Lookup(addr(20, 0, 0, 5)); hop != 8 {
+		t.Errorf("/24 half broken: %d", hop)
+	}
+}
+
+func TestLPMDeleteRestoresParent(t *testing.T) {
+	l := NewLPM()
+	l.Add(addr(10, 0, 0, 0), 8, 1)
+	l.Add(addr(10, 1, 0, 0), 16, 2)
+	if err := l.Delete(addr(10, 1, 0, 0), 16); err != nil {
+		t.Fatal(err)
+	}
+	if hop, ok := l.Lookup(addr(10, 1, 9, 9)); !ok || hop != 1 {
+		t.Errorf("parent /8 not restored: %d,%v", hop, ok)
+	}
+	if err := l.Delete(addr(99, 0, 0, 0), 8); err != ErrNoRoute {
+		t.Errorf("deleting absent rule: %v", err)
+	}
+}
+
+func TestLPMDeepDelete(t *testing.T) {
+	l := NewLPM()
+	l.Add(addr(10, 0, 0, 0), 24, 1)
+	l.Add(addr(10, 0, 0, 64), 26, 2)
+	if err := l.Delete(addr(10, 0, 0, 64), 26); err != nil {
+		t.Fatal(err)
+	}
+	if hop, _ := l.Lookup(addr(10, 0, 0, 70)); hop != 1 {
+		t.Errorf("tbl8 range not restored: %d", hop)
+	}
+}
+
+func TestLPMValidation(t *testing.T) {
+	l := NewLPM()
+	if err := l.Add(0, 33, 1); err != ErrBadPrefix {
+		t.Errorf("bad prefix: %v", err)
+	}
+	if err := l.Add(0, 8, 1<<14); err != ErrHopTooLarge {
+		t.Errorf("hop too large: %v", err)
+	}
+}
+
+func TestLPMAgainstLinearScan(t *testing.T) {
+	// Property test: LPM lookups agree with a brute-force longest-match
+	// over the rule list.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		l := NewLPM()
+		type rl struct {
+			p   packet.Addr
+			len int
+			hop uint16
+		}
+		var rules []rl
+		for i := 0; i < 30; i++ {
+			length := r.Intn(33)
+			p := packet.Addr(r.Uint64()) & mask(length)
+			hop := uint16(r.Intn(100))
+			if l.Add(p, length, hop) != nil {
+				return false
+			}
+			// Later duplicates replace earlier ones in both models.
+			filtered := rules[:0]
+			for _, x := range rules {
+				if !(x.p == p && x.len == length) {
+					filtered = append(filtered, x)
+				}
+			}
+			rules = append(filtered, rl{p, length, hop})
+		}
+		for trial := 0; trial < 200; trial++ {
+			ip := packet.Addr(r.Uint64())
+			var best *rl
+			for i := range rules {
+				x := &rules[i]
+				if ip&mask(x.len) == x.p {
+					if best == nil || x.len > best.len {
+						best = x
+					}
+				}
+			}
+			hop, ok := l.Lookup(ip)
+			if best == nil {
+				if ok {
+					return false
+				}
+			} else if !ok || hop != best.hop {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildFwd(t *testing.T) *Forwarder {
+	t.Helper()
+	f := New([]Port{
+		{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, GwMAC: packet.MAC{2, 0, 0, 0, 1, 1}},
+		{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, GwMAC: packet.MAC{2, 0, 0, 0, 1, 2}},
+	})
+	if err := f.Table.Add(addr(192, 168, 0, 0), 16, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Table.Add(addr(10, 0, 0, 0), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func makePkt(t *testing.T, pool *mbuf.Pool, dst packet.Addr) *mbuf.Mbuf {
+	t.Helper()
+	m, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	frame, err := packet.BuildUDP(buf, 64, addr(1, 2, 3, 4), dst, 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFrame(frame)
+	return m
+}
+
+func TestForwarderRoutesAndRewrites(t *testing.T) {
+	f := buildFwd(t)
+	pool := mbuf.NewPool(4)
+	m := makePkt(t, pool, addr(10, 5, 5, 5))
+	if v := f.Process(m); v != apps.Forward {
+		t.Fatalf("verdict = %v", v)
+	}
+	if m.Meta != 1 {
+		t.Errorf("out port = %d", m.Meta)
+	}
+	var p packet.Parsed
+	if err := p.Parse(m.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Eth.Src != f.Ports[1].MAC || p.Eth.Dst != f.Ports[1].GwMAC {
+		t.Error("MACs not rewritten")
+	}
+	if p.IP.TTL != 63 {
+		t.Errorf("TTL = %d", p.IP.TTL)
+	}
+	// The incremental checksum must still verify.
+	if !packet.VerifyChecksum(m.Bytes()[packet.EthHeaderLen:]) {
+		t.Error("checksum invalid after TTL decrement")
+	}
+	if f.Forwarded != 1 {
+		t.Errorf("forwarded = %d", f.Forwarded)
+	}
+	m.Free()
+}
+
+func TestForwarderDropsNoRoute(t *testing.T) {
+	f := buildFwd(t)
+	pool := mbuf.NewPool(4)
+	m := makePkt(t, pool, addr(172, 16, 0, 1))
+	if v := f.Process(m); v != apps.Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+	if f.NoRoute != 1 {
+		t.Errorf("noroute = %d", f.NoRoute)
+	}
+	m.Free()
+}
+
+func TestForwarderDropsExpiredTTL(t *testing.T) {
+	f := buildFwd(t)
+	pool := mbuf.NewPool(4)
+	m := makePkt(t, pool, addr(10, 0, 0, 1))
+	m.Bytes()[packet.EthHeaderLen+8] = 1 // TTL=1
+	if v := f.Process(m); v != apps.Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+	if f.Expired != 1 {
+		t.Errorf("expired = %d", f.Expired)
+	}
+	m.Free()
+}
+
+func TestForwarderDropsMalformed(t *testing.T) {
+	f := buildFwd(t)
+	pool := mbuf.NewPool(4)
+	m, _ := pool.Get()
+	m.SetFrame([]byte{1, 2, 3})
+	if v := f.Process(m); v != apps.Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+	if f.Malformed != 1 {
+		t.Errorf("malformed = %d", f.Malformed)
+	}
+	m.Free()
+}
+
+func TestServiceRateCalibration(t *testing.T) {
+	f := New(nil)
+	mu := apps.ServiceRate(f, 2.1)
+	// 70 cycles at 2.1 GHz = 30 Mpps: the µ used across the experiments.
+	if mu < 29e6 || mu > 31e6 {
+		t.Errorf("l3fwd service rate = %v", mu)
+	}
+}
+
+func BenchmarkLPMLookup(b *testing.B) {
+	l := NewLPM()
+	r := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		length := 8 + r.Intn(25)
+		l.Add(packet.Addr(r.Uint64())&mask(length), length, uint16(r.Intn(256)))
+	}
+	ips := make([]packet.Addr, 1024)
+	for i := range ips {
+		ips[i] = packet.Addr(r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lookup(ips[i&1023])
+	}
+}
+
+func BenchmarkForwarderProcess(b *testing.B) {
+	f := New([]Port{{}, {}})
+	f.Table.Add(addr(10, 0, 0, 0), 8, 1)
+	pool := mbuf.NewPool(2)
+	m, _ := pool.Get()
+	buf := make([]byte, 128)
+	frame, _ := packet.BuildUDP(buf, 64, addr(1, 2, 3, 4), addr(10, 0, 0, 1), 1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetFrame(frame)
+		f.Process(m)
+	}
+}

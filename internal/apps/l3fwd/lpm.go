@@ -1,0 +1,223 @@
+// Package l3fwd reimplements DPDK's L3 Forwarding sample application in its
+// longest-prefix-match flavour (the computation-heavier of its two modes,
+// which is the one the paper evaluates): a DIR-24-8 LPM table, MAC
+// rewriting, TTL decrement with incremental checksum update.
+package l3fwd
+
+import (
+	"errors"
+	"fmt"
+
+	"metronome/internal/packet"
+)
+
+// DIR-24-8 constants, as in rte_lpm.
+const (
+	tbl24Size  = 1 << 24
+	tbl8Groups = 256 // allocatable /24-expansion groups
+	tbl8Size   = 256
+
+	flagValid = 1 << 15 // entry holds a route (or a tbl8 index)
+	flagExt   = 1 << 14 // entry points into tbl8
+	valueMask = flagExt - 1
+)
+
+var (
+	ErrBadPrefix   = errors.New("l3fwd: prefix length must be 0..32")
+	ErrNoTbl8      = errors.New("l3fwd: out of tbl8 groups")
+	ErrNoRoute     = errors.New("l3fwd: no route")
+	ErrHopTooLarge = errors.New("l3fwd: next hop exceeds 14 bits")
+)
+
+type rule struct {
+	prefix packet.Addr
+	length int
+	hop    uint16
+}
+
+// LPM is a DIR-24-8 longest-prefix-match table: one 16M-entry direct table
+// for the first 24 bits and on-demand /8 expansion tables, giving the
+// 1-or-2 memory-access lookups that let DPDK route at line rate.
+type LPM struct {
+	tbl24   []uint16
+	depth24 []uint8 // prefix length that wrote each tbl24 entry
+	tbl8    []uint16
+	depth8  []uint8
+	used    []bool // tbl8 group allocation map
+	rules   map[ruleKey]uint16
+}
+
+type ruleKey struct {
+	prefix packet.Addr
+	length int
+}
+
+// NewLPM allocates an empty table (about 48 MiB for tbl24+depths, on the
+// order of rte_lpm's footprint).
+func NewLPM() *LPM {
+	return &LPM{
+		tbl24:   make([]uint16, tbl24Size),
+		depth24: make([]uint8, tbl24Size),
+		tbl8:    make([]uint16, tbl8Groups*tbl8Size),
+		depth8:  make([]uint8, tbl8Groups*tbl8Size),
+		used:    make([]bool, tbl8Groups),
+		rules:   make(map[ruleKey]uint16),
+	}
+}
+
+func mask(length int) packet.Addr {
+	if length == 0 {
+		return 0
+	}
+	return packet.Addr(^uint32(0) << (32 - uint(length)))
+}
+
+// Add installs prefix/length -> hop, replacing any identical rule.
+func (l *LPM) Add(prefix packet.Addr, length int, hop uint16) error {
+	if length < 0 || length > 32 {
+		return ErrBadPrefix
+	}
+	if hop > valueMask {
+		return ErrHopTooLarge
+	}
+	prefix &= mask(length)
+	l.rules[ruleKey{prefix, length}] = hop
+	return l.install(prefix, length, hop)
+}
+
+// install writes a rule into the tables without touching deeper (more
+// specific) existing entries.
+func (l *LPM) install(prefix packet.Addr, length int, hop uint16) error {
+	if length <= 24 {
+		first := uint32(prefix) >> 8
+		count := uint32(1) << (24 - uint(length))
+		for i := first; i < first+count; i++ {
+			e := l.tbl24[i]
+			if e&flagExt != 0 {
+				// The /24 is expanded: update the group's entries that are
+				// not more specific than us.
+				l.fillTbl8(int(e&valueMask), length, hop)
+				continue
+			}
+			// Overwrite only if we are at least as specific as what's there.
+			if e&flagValid == 0 || l.depth24[i] <= uint8(length) {
+				l.tbl24[i] = flagValid | hop
+				l.depth24[i] = uint8(length)
+			}
+		}
+		return nil
+	}
+	// length 25..32: needs (possibly) a tbl8 group for its /24.
+	idx24 := uint32(prefix) >> 8
+	e := l.tbl24[idx24]
+	var group int
+	if e&flagExt == 0 {
+		g, err := l.allocTbl8()
+		if err != nil {
+			return err
+		}
+		group = g
+		// Seed the group with the previous /24 coverage.
+		var seed uint16
+		var seedDepth uint8
+		if e&flagValid != 0 {
+			seed = flagValid | e&valueMask
+			seedDepth = l.depth24[idx24]
+		}
+		base := group * tbl8Size
+		for i := 0; i < tbl8Size; i++ {
+			l.tbl8[base+i] = seed
+			l.depth8[base+i] = seedDepth
+		}
+		l.tbl24[idx24] = flagValid | flagExt | uint16(group)
+	} else {
+		group = int(e & valueMask)
+	}
+	base := group * tbl8Size
+	first := int(uint32(prefix) >> 0 & 0xff)
+	count := 1 << (32 - uint(length))
+	for i := first; i < first+count; i++ {
+		if l.tbl8[base+i]&flagValid == 0 || l.depth8[base+i] <= uint8(length) {
+			l.tbl8[base+i] = flagValid | hop
+			l.depth8[base+i] = uint8(length)
+		}
+	}
+	return nil
+}
+
+// fillTbl8 overwrites the entries of a group that are shallower than depth.
+func (l *LPM) fillTbl8(group, depth int, hop uint16) {
+	base := group * tbl8Size
+	for i := 0; i < tbl8Size; i++ {
+		if l.tbl8[base+i]&flagValid == 0 || l.depth8[base+i] <= uint8(depth) {
+			l.tbl8[base+i] = flagValid | hop
+			l.depth8[base+i] = uint8(depth)
+		}
+	}
+}
+
+func (l *LPM) allocTbl8() (int, error) {
+	for g, u := range l.used {
+		if !u {
+			l.used[g] = true
+			return g, nil
+		}
+	}
+	return 0, ErrNoTbl8
+}
+
+// Delete removes prefix/length and restores coverage from the next-best
+// remaining rule, rebuilding the affected range (rte_lpm does the same
+// "find parent rule" dance).
+func (l *LPM) Delete(prefix packet.Addr, length int) error {
+	if length < 0 || length > 32 {
+		return ErrBadPrefix
+	}
+	prefix &= mask(length)
+	if _, ok := l.rules[ruleKey{prefix, length}]; !ok {
+		return ErrNoRoute
+	}
+	delete(l.rules, ruleKey{prefix, length})
+	// Rebuild from scratch in rule-length order. Simpler than surgical
+	// repair and still O(rules * range); deletions are control-plane rare.
+	for i := range l.tbl24 {
+		l.tbl24[i] = 0
+		l.depth24[i] = 0
+	}
+	for i := range l.tbl8 {
+		l.tbl8[i] = 0
+		l.depth8[i] = 0
+	}
+	for g := range l.used {
+		l.used[g] = false
+	}
+	for length := 0; length <= 32; length++ {
+		for k, hop := range l.rules {
+			if k.length == length {
+				if err := l.install(k.prefix, k.length, hop); err != nil {
+					return fmt.Errorf("l3fwd: rebuild: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup resolves the next hop for ip with at most two memory accesses.
+func (l *LPM) Lookup(ip packet.Addr) (uint16, bool) {
+	e := l.tbl24[uint32(ip)>>8]
+	if e&flagValid == 0 {
+		return 0, false
+	}
+	if e&flagExt == 0 {
+		return e & valueMask, true
+	}
+	e8 := l.tbl8[int(e&valueMask)*tbl8Size+int(ip&0xff)]
+	if e8&flagValid == 0 {
+		return 0, false
+	}
+	return e8 & valueMask, true
+}
+
+// Rules returns the number of installed rules.
+func (l *LPM) Rules() int { return len(l.rules) }

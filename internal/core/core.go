@@ -1,0 +1,411 @@
+// Package core implements Metronome itself: the multi-threaded sleep&wake
+// packet-retrieval architecture of Sec. III and the adaptive tuning of
+// Sec. IV, executed over the discrete-event engine.
+//
+// M threads share N Rx queues behind per-queue trylocks. A thread that
+// wakes and wins the race drains the queue (a busy period), releases the
+// lock and re-arms a short timeout TS; a thread that loses notes the busy
+// period, re-targets a random queue (multiqueue) and re-arms a long timeout
+// TL >> TS. Every completed cycle feeds the EWMA load estimator of eq. (11)
+// and the adaptive TS rule of eq. (13)/(14).
+package core
+
+import (
+	"fmt"
+
+	"metronome/internal/cpu"
+	"metronome/internal/hrtimer"
+	"metronome/internal/model"
+	"metronome/internal/nic"
+	"metronome/internal/sim"
+	"metronome/internal/stats"
+	"metronome/internal/xrand"
+)
+
+// Config parameterises a Metronome run.
+type Config struct {
+	// M is the number of retrieval threads (paper default 3 single-queue).
+	M int
+	// VBar is the target mean vacation period (10 us in most experiments).
+	VBar float64
+	// TL is the backup threads' long timeout (500 us in the paper).
+	TL float64
+	// Mu is the service (retrieval+processing) rate in packets/second at
+	// nominal frequency; it comes from the application's per-packet cost.
+	Mu float64
+	// FreqScale multiplies Mu to express a frequency-scaled core
+	// (ondemand governor); 1.0 at nominal.
+	FreqScale float64
+	// MuSigma is the per-cycle relative noise on the service rate (cache
+	// misses, batch granularity, DMA contention). The paper leans on this
+	// variability for thread decorrelation (Sec. IV-B.2).
+	MuSigma float64
+	// Alpha is the EWMA smoothing of the load estimator (eq. 11).
+	Alpha float64
+	// Adaptive selects eq. (13)/(14); when false every thread sleeps the
+	// fixed TSFixed (the equal-timeout strawman of Fig 6, or the TS=TL
+	// configuration of Fig 4).
+	Adaptive bool
+	TSFixed  float64
+	// PollCost is the CPU time of one empty rx_burst call.
+	PollCost float64
+	// WakeCost is the CPU time consumed by every wakeup (syscall return,
+	// trylock, re-arm) on top of any draining work.
+	WakeCost float64
+	// MaxSlice bounds one fluid service slice, so overload and rate
+	// changes are sampled at this granularity.
+	MaxSlice float64
+	// Sleep selects the sleep-service latency model.
+	Sleep hrtimer.Service
+	// Wake shapes scheduler wake-up delays.
+	Wake cpu.WakeConfig
+	// Cores hosts the threads (thread i runs on Cores[i % len]); nil means
+	// M dedicated idle cores.
+	Cores []*cpu.Core
+	// WakeOverrides replaces the wake-delay configuration for specific
+	// threads — the failure-injection hook behind the Sec. V-E robustness
+	// experiments (a thread whose core is hogged by a CPU-bound co-runner
+	// wakes a CFS timeslice late).
+	WakeOverrides map[int]cpu.WakeConfig
+	// BackupSticky makes a losing thread re-contend the same queue instead
+	// of re-targeting a random one — the strawman against Sec. IV-E's
+	// random selection, used by the ablation benchmarks.
+	BackupSticky bool
+	// Seed drives all randomness in the run.
+	Seed uint64
+
+	// OnCycle, when set, observes every completed service cycle of any
+	// queue: the vacation that preceded it and its busy duration (the
+	// Fig 4 histogram tap).
+	OnCycle func(queue int, vacation, busy float64)
+	// Tracer, when set, observes every thread transition (the Fig 3
+	// timeline); see the trace package for a renderer.
+	Tracer Tracer
+}
+
+// Tracer observes thread state transitions.
+type Tracer interface {
+	// Wake fires on every wakeup: won reports the trylock outcome.
+	Wake(t float64, thread, queue int, won bool)
+	// Release fires when a service cycle completes.
+	Release(t float64, thread, queue int, busy float64)
+	// Sleep fires when a thread re-arms its timer for req seconds;
+	// backup marks a TL (lost-race) sleep.
+	Sleep(t float64, thread int, req float64, backup bool)
+}
+
+// DefaultConfig mirrors the paper's single-queue tuning: V̄=10us, TL=500us,
+// M=3, hr_sleep, adaptive.
+func DefaultConfig() Config {
+	return Config{
+		M:         3,
+		VBar:      10e-6,
+		TL:        500e-6,
+		Mu:        29.76e6, // l3fwd-LPM retrieval rate at 2.1 GHz (see apps)
+		FreqScale: 1,
+		MuSigma:   0.08,
+		Alpha:     0.125,
+		Adaptive:  true,
+		PollCost:  0.2e-6,
+		WakeCost:  1.5e-6,
+		MaxSlice:  200e-6,
+		Sleep:     hrtimer.HRSleep,
+		Wake:      cpu.DefaultWakeConfig(),
+	}
+}
+
+type thread struct {
+	id    int
+	core  *cpu.Core
+	wake  *cpu.WakeModel
+	rng   *xrand.Rand
+	queue int // queue to contend at next wakeup
+}
+
+// Runtime executes Metronome over a set of queues.
+type Runtime struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Queues  []*nic.Queue
+	Acct    *cpu.Accounting
+	threads []*thread
+
+	locked      []bool
+	lastRelease []float64
+	rho         []*stats.EWMA
+	ts          []float64
+
+	// Counters matching the paper's metrics.
+	Tries     stats.Counter // trylock attempts
+	BusyTries stats.Counter // failed attempts (queue already owned)
+	Cycles    stats.Counter // completed service cycles
+	// Per-queue splits of the same counters (Table III).
+	TriesQ     []int64
+	BusyTriesQ []int64
+}
+
+// New builds a runtime over queues; the engine clock must be at zero.
+func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
+	if cfg.M < 1 {
+		panic("core: need at least one thread")
+	}
+	if len(queues) == 0 {
+		panic("core: need at least one queue")
+	}
+	if cfg.M < len(queues) {
+		// Sec. IV-E: every queue should have a primary available (M >= N).
+		panic(fmt.Sprintf("core: M=%d < N=%d queues", cfg.M, len(queues)))
+	}
+	if cfg.FreqScale <= 0 {
+		cfg.FreqScale = 1
+	}
+	r := &Runtime{
+		Cfg:         cfg,
+		Eng:         eng,
+		Queues:      queues,
+		Acct:        cpu.NewAccounting(cfg.M),
+		locked:      make([]bool, len(queues)),
+		lastRelease: make([]float64, len(queues)),
+		rho:         make([]*stats.EWMA, len(queues)),
+		ts:          make([]float64, len(queues)),
+		TriesQ:      make([]int64, len(queues)),
+		BusyTriesQ:  make([]int64, len(queues)),
+	}
+	root := xrand.New(cfg.Seed)
+	for q := range queues {
+		r.rho[q] = stats.NewEWMA(cfg.Alpha)
+		r.ts[q] = r.tsFor(q)
+	}
+	cores := cfg.Cores
+	if len(cores) == 0 {
+		cores = make([]*cpu.Core, cfg.M)
+		for i := range cores {
+			cores[i] = cpu.NewCore(i)
+		}
+	}
+	for i := 0; i < cfg.M; i++ {
+		th := &thread{
+			id:    i,
+			core:  cores[i%len(cores)],
+			rng:   root.Split(),
+			queue: i % len(queues),
+		}
+		wcfg := cfg.Wake
+		if over, ok := cfg.WakeOverrides[i]; ok {
+			wcfg = over
+		}
+		th.wake = cpu.NewWakeModel(hrtimer.NewModel(cfg.Sleep, th.rng.Split()), wcfg, th.rng.Split())
+		r.threads = append(r.threads, th)
+		r.Acct.SetName(i, fmt.Sprintf("metronome-%d", i))
+	}
+	return r
+}
+
+// Start arms every thread's first wakeup, de-phased across one timeout so
+// the start is not artificially synchronised (real threads launch
+// sequentially; the decorrelation of Sec. IV-B takes over from there).
+func (r *Runtime) Start() {
+	for _, th := range r.threads {
+		th := th
+		first := th.rng.Uniform(0, r.ts[th.queue]+1e-9)
+		r.Eng.After(first, "metronome-first-wake", func() { r.wakeup(th) })
+	}
+}
+
+// tsFor evaluates the current short timeout for queue q.
+func (r *Runtime) tsFor(q int) float64 {
+	if !r.Cfg.Adaptive {
+		if r.Cfg.TSFixed > 0 {
+			return r.Cfg.TSFixed
+		}
+		return r.Cfg.VBar
+	}
+	return model.TSForTargetMultiqueue(r.Cfg.VBar, r.rho[q].Value(), r.Cfg.M, len(r.Queues))
+}
+
+// TS returns the current short timeout of queue q (for sampling hooks).
+func (r *Runtime) TS(q int) float64 { return r.ts[q] }
+
+// Rho returns the current load estimate of queue q.
+func (r *Runtime) Rho(q int) float64 { return r.rho[q].Value() }
+
+// MuEffective returns the service rate after frequency scaling.
+func (r *Runtime) MuEffective() float64 { return r.Cfg.Mu * r.Cfg.FreqScale }
+
+// BusyTryFraction returns the failed-trylock percentage basis (0..1).
+func (r *Runtime) BusyTryFraction() float64 {
+	return stats.Ratio(r.BusyTries.Value, r.Tries.Value)
+}
+
+// wakeup is the body of Listing 2: trylock, drain-or-flee, re-arm.
+func (r *Runtime) wakeup(th *thread) {
+	now := r.Eng.Now()
+	r.Acct.AddBusy(th.id, r.Cfg.WakeCost)
+	r.Tries.Inc()
+	q := th.queue
+	r.TriesQ[q]++
+	if r.locked[q] {
+		// Busy try: another thread owns the queue. Become backup; pick a
+		// random queue for the next attempt (Sec. IV-E) and sleep TL.
+		r.BusyTries.Inc()
+		r.BusyTriesQ[q]++
+		if r.Cfg.Tracer != nil {
+			r.Cfg.Tracer.Wake(now, th.id, q, false)
+		}
+		if len(r.Queues) > 1 && !r.Cfg.BackupSticky {
+			th.queue = th.rng.Intn(len(r.Queues))
+		}
+		r.sleepTraced(th, r.Cfg.TL, true)
+		return
+	}
+	// Lock won: serve the queue.
+	if r.Cfg.Tracer != nil {
+		r.Cfg.Tracer.Wake(now, th.id, q, true)
+	}
+	r.locked[q] = true
+	queue := r.Queues[q]
+	vacation := now - r.lastRelease[q]
+	nv := queue.BeginService(now, r.noisyMu(th))
+	if nv == 0 {
+		// Empty poll: pay one rx_burst, release, stay primary.
+		r.Acct.AddBusy(th.id, r.Cfg.PollCost)
+		end := now + r.Cfg.PollCost
+		r.Eng.At(end, "metronome-empty-poll", func() {
+			queue.EndService(end)
+			r.finishCycle(th, q, vacation, now, end)
+		})
+		return
+	}
+	r.serveSlices(th, q, vacation, now, now)
+}
+
+// noisyMu draws the per-slice effective service rate: frequency-scaled and
+// perturbed by the service-time noise of Sec. IV-B.2.
+func (r *Runtime) noisyMu(th *thread) float64 {
+	mu := r.MuEffective()
+	if r.Cfg.MuSigma > 0 {
+		noisy := mu * (1 + r.Cfg.MuSigma*th.rng.NormFloat64())
+		if floor := 0.3 * mu; noisy < floor {
+			noisy = floor
+		}
+		mu = noisy
+	}
+	return mu
+}
+
+// serveSlices advances the busy period slice by slice so that overload and
+// time-varying arrival rates stay observable; the service rate is re-drawn
+// each slice so noise averages out over long busy periods.
+func (r *Runtime) serveSlices(th *thread, q int, vacation, serviceStart, sliceStart float64) {
+	queue := r.Queues[q]
+	done, end := queue.ServeSlice(r.Cfg.MaxSlice)
+	r.Acct.AddBusy(th.id, end-sliceStart)
+	if !done {
+		r.Eng.At(end, "metronome-serve", func() {
+			queue.Retune(r.noisyMu(th))
+			r.serveSlices(th, q, vacation, serviceStart, end)
+		})
+		return
+	}
+	r.Eng.At(end, "metronome-release", func() {
+		queue.EndService(end)
+		r.finishCycle(th, q, vacation, serviceStart, end)
+	})
+}
+
+// finishCycle releases the lock, folds the cycle into the load estimate,
+// re-evaluates the adaptive TS and puts the thread back to sleep as the
+// (new) primary of this queue.
+func (r *Runtime) finishCycle(th *thread, q int, vacation, serviceStart, now float64) {
+	busy := now - serviceStart
+	r.locked[q] = false
+	r.lastRelease[q] = now
+	r.Cycles.Inc()
+	r.rho[q].Update(model.Rho(busy, vacation))
+	r.ts[q] = r.tsFor(q)
+	if r.Cfg.OnCycle != nil {
+		r.Cfg.OnCycle(q, vacation, busy)
+	}
+	if r.Cfg.Tracer != nil {
+		r.Cfg.Tracer.Release(now, th.id, q, busy)
+	}
+	th.queue = q // primaries re-contend the queue they just drained
+	r.sleepTraced(th, r.ts[q], false)
+}
+
+// sleep re-arms th's wakeup after the requested timeout plus the sampled
+// sleep-service and scheduler overheads.
+func (r *Runtime) sleep(th *thread, req float64) {
+	delay := th.wake.Delay(req, th.core)
+	r.Eng.After(delay, "metronome-wake", func() { r.wakeup(th) })
+}
+
+func (r *Runtime) sleepTraced(th *thread, req float64, backup bool) {
+	if r.Cfg.Tracer != nil {
+		r.Cfg.Tracer.Sleep(r.Eng.Now(), th.id, req, backup)
+	}
+	r.sleep(th, req)
+}
+
+// Metrics summarises a finished run over a wall-clock window.
+type Metrics struct {
+	Wall          float64
+	CPUPercent    float64
+	BusyTries     int64
+	Tries         int64
+	BusyTryFrac   float64
+	Cycles        int64
+	RxPackets     int64
+	Served        int64
+	Drops         int64
+	LossRate      float64
+	MeanVacation  float64
+	MeanBusy      float64
+	MeanNV        float64
+	RhoEst        []float64
+	TSNow         []float64
+	Latency       stats.Boxplot
+	LatencyStd    float64
+	ThroughputPPS float64
+}
+
+// Snapshot computes run metrics over the window [0, wall] (callers reset
+// queue stats after warm-up to window-align them).
+func (r *Runtime) Snapshot(wall float64) Metrics {
+	m := Metrics{
+		Wall:        wall,
+		CPUPercent:  r.Acct.UsagePercent(wall),
+		BusyTries:   r.BusyTries.Value,
+		Tries:       r.Tries.Value,
+		BusyTryFrac: r.BusyTryFraction(),
+		Cycles:      r.Cycles.Value,
+	}
+	var vac, busy, nv stats.Welford
+	var lat stats.Sample
+	for q, queue := range r.Queues {
+		m.RxPackets += queue.RxPackets
+		m.Served += queue.Served
+		m.Drops += queue.Drops
+		vac.Merge(&queue.VacObs)
+		busy.Merge(&queue.BusyObs)
+		nv.Merge(&queue.NVObs)
+		for _, x := range queue.Lat.Values() {
+			lat.Add(x)
+		}
+		m.RhoEst = append(m.RhoEst, r.Rho(q))
+		m.TSNow = append(m.TSNow, r.TS(q))
+	}
+	offered := m.RxPackets + m.Drops
+	if offered > 0 {
+		m.LossRate = float64(m.Drops) / float64(offered)
+	}
+	m.MeanVacation = vac.Mean()
+	m.MeanBusy = busy.Mean()
+	m.MeanNV = nv.Mean()
+	m.Latency = lat.Box()
+	m.LatencyStd = lat.Std()
+	if wall > 0 {
+		m.ThroughputPPS = float64(m.Served) / wall
+	}
+	return m
+}

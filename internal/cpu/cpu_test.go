@@ -1,0 +1,198 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"metronome/internal/hrtimer"
+	"metronome/internal/stats"
+	"metronome/internal/xrand"
+)
+
+func TestNiceWeightTable(t *testing.T) {
+	// Kernel anchor values.
+	if NiceWeight(0) != 1024 {
+		t.Errorf("nice 0 weight = %d", NiceWeight(0))
+	}
+	if NiceWeight(-20) != 88761 {
+		t.Errorf("nice -20 weight = %d", NiceWeight(-20))
+	}
+	if NiceWeight(19) != 15 {
+		t.Errorf("nice 19 weight = %d", NiceWeight(19))
+	}
+	// Out-of-range clamps.
+	if NiceWeight(-100) != 88761 || NiceWeight(100) != 15 {
+		t.Error("clamping broken")
+	}
+	// Monotone decreasing.
+	for n := -19; n <= 19; n++ {
+		if NiceWeight(n) >= NiceWeight(n-1) {
+			t.Fatalf("weights not decreasing at nice %d", n)
+		}
+	}
+}
+
+func TestNiceStepRatio(t *testing.T) {
+	// Each nice level is ~1.25x CPU; check the multiplicative design.
+	for n := -20; n < 19; n++ {
+		ratio := float64(NiceWeight(n)) / float64(NiceWeight(n+1))
+		if ratio < 1.15 || ratio > 1.35 {
+			t.Errorf("nice %d -> %d ratio %.3f", n, n+1, ratio)
+		}
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	// Two equal entities: 50/50 — the static DPDK vs ferret scenario under
+	// group fairness.
+	if got := FairShare(1024, 1024); got != 0.5 {
+		t.Errorf("equal share = %v", got)
+	}
+	// nice -20 vs nice 19: essentially everything.
+	got := FairShare(NiceWeight(-20), NiceWeight(19))
+	if got < 0.999 {
+		t.Errorf("-20 vs 19 share = %v", got)
+	}
+	if FairShare(0) != 0 {
+		t.Error("zero weight yields zero share")
+	}
+	// Sums to one across entities.
+	a := FairShare(1024, 512, 256)
+	b := FairShare(512, 1024, 256)
+	c := FairShare(256, 1024, 512)
+	if math.Abs(a+b+c-1) > 1e-12 {
+		t.Errorf("shares sum to %v", a+b+c)
+	}
+}
+
+func TestWakeDelayIdleCore(t *testing.T) {
+	rng := xrand.New(1)
+	wm := NewWakeModel(hrtimer.NewModel(hrtimer.HRSleep, rng.Split()), DefaultWakeConfig(), rng.Split())
+	idle := NewCore(0)
+	var w stats.Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(wm.Delay(10e-6, idle))
+	}
+	// Mean should track the sleep-service latency (~13.4 us), the tail
+	// contributing only ~2e-4 * 0.4ms ~= 80 ns.
+	if w.Mean() < 13e-6 || w.Mean() > 14e-6 {
+		t.Errorf("idle-core mean wake delay = %v us", w.Mean()*1e6)
+	}
+}
+
+func TestWakeDelayContendedCore(t *testing.T) {
+	rng := xrand.New(2)
+	wm := NewWakeModel(hrtimer.NewModel(hrtimer.HRSleep, rng.Split()), DefaultWakeConfig(), rng.Split())
+	busy := NewCore(0)
+	busy.BusyWith = 1
+	idle := NewCore(1)
+	var wBusy, wIdle stats.Welford
+	for i := 0; i < 20000; i++ {
+		wBusy.Add(wm.Delay(10e-6, busy))
+		wIdle.Add(wm.Delay(10e-6, idle))
+	}
+	if wBusy.Mean() <= wIdle.Mean()+3e-6 {
+		t.Errorf("contended core not slower: %v vs %v", wBusy.Mean(), wIdle.Mean())
+	}
+}
+
+func TestWakeDelayTail(t *testing.T) {
+	rng := xrand.New(3)
+	cfg := DefaultWakeConfig()
+	cfg.TailProb = 0.05 // exaggerate to measure
+	wm := NewWakeModel(hrtimer.NewModel(hrtimer.HRSleep, rng.Split()), cfg, rng.Split())
+	over := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if wm.Delay(10e-6, nil) > 100e-6 {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	// Lognormal(-8.1, 0.6) exceeds 100us-13us with probability ~0.97, so
+	// the fraction of long wakes should be close to TailProb.
+	if frac < 0.03 || frac > 0.07 {
+		t.Errorf("tail fraction = %v, want ~0.05", frac)
+	}
+}
+
+func TestWakeDelayNoTailWhenDisabled(t *testing.T) {
+	rng := xrand.New(4)
+	cfg := WakeConfig{}
+	wm := NewWakeModel(hrtimer.NewModel(hrtimer.HRSleep, rng.Split()), cfg, rng.Split())
+	for i := 0; i < 20000; i++ {
+		if wm.Delay(10e-6, nil) > 20e-6 {
+			t.Fatal("long delay with tail disabled")
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	a := NewAccounting(3)
+	a.SetName(0, "rx0")
+	a.AddBusy(0, 1.5)
+	a.AddBusy(1, 0.5)
+	a.AddBusy(0, 0.5)
+	if a.Busy(0) != 2.0 || a.Busy(1) != 0.5 || a.Busy(2) != 0 {
+		t.Errorf("busy = %v %v %v", a.Busy(0), a.Busy(1), a.Busy(2))
+	}
+	if a.TotalBusy() != 2.5 {
+		t.Errorf("total = %v", a.TotalBusy())
+	}
+	// 2.5 core-seconds over 2 wall seconds = 125%: multi-thread usage can
+	// exceed 100%, as in Fig 13.
+	if got := a.UsagePercent(2); got != 125 {
+		t.Errorf("usage = %v%%", got)
+	}
+	if a.UsagePercent(0) != 0 {
+		t.Error("zero window should report 0")
+	}
+}
+
+func TestAccountingPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative busy time")
+		}
+	}()
+	NewAccounting(1).AddBusy(0, -1)
+}
+
+func TestJobDurationAloneVsShared(t *testing.T) {
+	// Fig 12 scenario: ferret alone on one core vs sharing with a
+	// continuously-polling DPDK thread (50% share + penalty).
+	ferret := Job{Name: "ferret", Work: 240, Nice: 19}
+	alone := ferret.Duration([]float64{1}, 1)
+	if alone != 240 {
+		t.Errorf("alone = %v", alone)
+	}
+	shared := ferret.Duration([]float64{0.5}, 1.45)
+	// Paper: ~3x the standalone duration.
+	if shared/alone < 2.5 || shared/alone > 3.5 {
+		t.Errorf("shared/alone = %v, want ~3x", shared/alone)
+	}
+}
+
+func TestJobDurationWithMetronome(t *testing.T) {
+	// Three cores each yielding ~80% to ferret (Metronome occupies ~20%
+	// per core at line rate) with a small sharing penalty: close to the
+	// 3-core standalone time (paper: ~10% longer).
+	ferret := Job{Name: "ferret", Work: 240, Nice: 19}
+	alone3 := ferret.Duration([]float64{1, 1, 1}, 1)
+	with := ferret.Duration([]float64{0.8, 0.8, 0.8}, 1.05)
+	ratio := with / alone3
+	if ratio < 1.05 || ratio > 1.5 {
+		t.Errorf("metronome sharing ratio = %v", ratio)
+	}
+}
+
+func TestJobDurationEdgeCases(t *testing.T) {
+	j := Job{Work: 10}
+	if d := j.Duration([]float64{0, 0}, 1); d < 1e15 {
+		t.Errorf("zero share should never finish, got %v", d)
+	}
+	// Shares clamp to [0,1].
+	if d := j.Duration([]float64{5}, 0.5); d != 10 {
+		t.Errorf("clamped share duration = %v", d)
+	}
+}

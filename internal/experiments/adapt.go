@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"metronome/internal/core"
+	"metronome/internal/nic"
+	"metronome/internal/plot"
+	"metronome/internal/sim"
+	"metronome/internal/traffic"
+	"metronome/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Adaptation to a MoonGen rate ramp: estimated rate, TS, CPU, rho",
+		Paper: "Fig 9: estimated rate tracks the offered ramp; TS and CPU adapt in step",
+		Run:   runFig9,
+	})
+}
+
+func runFig9(o Options) []*Table {
+	rampDur := 60.0
+	sample := 2.0
+	if o.Quick {
+		rampDur, sample = 12.0, 1.0
+	}
+	ramp := traffic.Ramp{Peak: 14e6, Duration: rampDur, StepEvery: rampDur / 30}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.Seed + 9
+	eng := sim.New()
+	q := nic.NewQueue(0, ramp, xrand.New(cfg.Seed), nic.DefaultOptions())
+	rt := core.New(eng, []*nic.Queue{q}, cfg)
+	rt.Start()
+
+	t := &Table{
+		ID:    "fig9",
+		Title: "time series over the rate sweep",
+		Columns: []string{
+			"t_s", "offered_mpps", "estimated_mpps", "TS_us", "cpu_pct", "rho",
+		},
+	}
+	var lastBusy float64
+	var cancel func()
+	cancel = eng.Ticker(sample, "fig9-sample", func() {
+		now := eng.Now()
+		busy := rt.Acct.TotalBusy()
+		cpuPct := (busy - lastBusy) / sample * 100
+		lastBusy = busy
+		rho := rt.Rho(0)
+		est := rho * rt.MuEffective()
+		t.Rows = append(t.Rows, []string{
+			f1(now), mpps(ramp.Rate(now)), mpps(est), us(rt.TS(0)), pct(cpuPct), f3(rho),
+		})
+		if now >= rampDur {
+			cancel()
+		}
+	})
+	eng.RunUntil(rampDur + 1e-9)
+
+	// A quantitative tracking score: mean absolute estimation error as a
+	// fraction of the peak, over the sweep.
+	var errSum float64
+	var n int
+	var xs, offered, estimated []float64
+	for _, row := range t.Rows {
+		var tt, off, est float64
+		fmt.Sscanf(row[0], "%f", &tt)
+		fmt.Sscanf(row[1], "%f", &off)
+		fmt.Sscanf(row[2], "%f", &est)
+		xs = append(xs, tt)
+		offered = append(offered, off)
+		estimated = append(estimated, est)
+		errSum += abs(off - est)
+		n++
+	}
+	if n > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"mean |offered-estimated| = %.2f Mpps over the sweep (peak 14)", errSum/float64(n)))
+	}
+	var chart strings.Builder
+	plot.Series{
+		Title:   "Fig 9a: offered vs estimated rate over the sweep",
+		XLabel:  "time (s)",
+		YLabel:  "offered Mpps",
+		Y2Label: "estimated Mpps",
+		X:       xs,
+		Y:       offered,
+		Y2:      estimated,
+	}.Render(&chart)
+	t.Charts = append(t.Charts, chart.String())
+	return []*Table{t}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,284 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V). Each experiment is registered under the ID used in
+// DESIGN.md's per-experiment index (tab1, fig5, ...), runs the relevant
+// simulation or closed-form baseline, and renders the same rows/series the
+// paper reports. bench_test.go and cmd/metrobench both drive this registry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"metronome/internal/core"
+	"metronome/internal/cpu"
+	"metronome/internal/nic"
+	"metronome/internal/power"
+	"metronome/internal/sim"
+	"metronome/internal/traffic"
+	"metronome/internal/xrand"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks durations for use inside testing.B loops; the shapes
+	// survive, the confidence intervals widen.
+	Quick bool
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+}
+
+// Table is one rendered artifact (a paper table, or one panel of a figure).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Charts holds pre-rendered ASCII figures appended after the rows.
+	Charts []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, c := range t.Charts {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper describes what the original artifact reports, for
+	// EXPERIMENTS.md cross-referencing.
+	Paper string
+	Run   func(Options) []*Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in declaration order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared runners --------------------------------------------------------
+
+// runSpec describes one simulated Metronome deployment.
+type runSpec struct {
+	cfg    core.Config
+	optFn  func(*nic.Options) // per-queue option tweaks (nil = defaults)
+	procs  []traffic.Process  // one per queue
+	dur    float64
+	warmup float64
+	seed   uint64
+}
+
+// runMetronome executes the spec and snapshots metrics over the
+// post-warm-up window.
+func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
+	eng := sim.New()
+	root := xrand.New(s.seed)
+	queues := make([]*nic.Queue, len(s.procs))
+	for i, p := range s.procs {
+		opt := nic.DefaultOptions()
+		if s.optFn != nil {
+			s.optFn(&opt)
+		}
+		queues[i] = nic.NewQueue(i, p, root.Split(), opt)
+	}
+	s.cfg.Seed = s.seed
+	r := core.New(eng, queues, s.cfg)
+	r.Start()
+	if s.warmup > 0 {
+		eng.RunUntil(s.warmup)
+		for _, q := range queues {
+			q.Reset(eng.Now())
+		}
+		r.Tries.Value, r.BusyTries.Value, r.Cycles.Value = 0, 0, 0
+		for i := range r.TriesQ {
+			r.TriesQ[i], r.BusyTriesQ[i] = 0, 0
+		}
+		// CPU accounting restarts too: replace through a fresh window.
+		r.Acct = cpu.NewAccounting(s.cfg.M)
+	}
+	eng.RunUntil(s.warmup + s.dur)
+	return r, r.Snapshot(s.dur)
+}
+
+// singleQueueCBR is the common single-queue constant-rate deployment.
+func singleQueueCBR(cfg core.Config, pps, dur float64, seed uint64) (*core.Runtime, core.Metrics) {
+	return runMetronome(runSpec{
+		cfg:    cfg,
+		procs:  []traffic.Process{traffic.CBR{PPS: pps}},
+		dur:    dur,
+		warmup: dur * 0.2,
+		seed:   seed,
+	})
+}
+
+// governorPower resolves the ondemand/performance fixed point for a
+// Metronome deployment and returns (metrics, watts, freq GHz). The drain
+// rate scales with the frequency of the core that holds the lock, so the
+// governor's view is re-simulated to a fixed point. Two rules matter:
+// ondemand ramps a saturated core (util ~1) back to FMax — work expands to
+// fill the queue backlog, so slowing down never looks "less utilised" —
+// and each core settles at its own frequency for the power account.
+func governorPower(pc power.Config, gov power.Governor, spec runSpec) (core.Metrics, float64, float64) {
+	freq := pc.FMax
+	var m core.Metrics
+	var rt *core.Runtime
+	var utils []float64
+	for iter := 0; iter < 6; iter++ {
+		spec.cfg.FreqScale = freq / pc.FMax
+		rt, m = runMetronome(spec)
+		utils = perThreadUtil(rt, m.Wall)
+		umax := maxOf(utils)
+		var next float64
+		switch {
+		case gov == power.Performance:
+			next = pc.FMax
+		case umax >= 0.99:
+			next = pc.FMax // saturated: ondemand climbs back to full speed
+		default:
+			// cycles/s of real work are frequency-invariant; re-reference
+			// the busiest core's demand to FMax for the governor law.
+			next = pc.SteadyFreq(gov, umax*freq/pc.FMax)
+		}
+		if math.Abs(next-freq) < 0.02 {
+			freq = next
+			break
+		}
+		freq = (freq + next) / 2 // damped: the map can overshoot at ramp-up
+	}
+	// Per-core operating points: cores with lighter duty idle down on
+	// their own, independent of the lock-holder's frequency.
+	states := make([]power.CoreState, len(utils))
+	cpuPct := 0.0
+	for i, u := range utils {
+		busyGHz := u * freq
+		fi := freq
+		if gov == power.Ondemand && u < 0.99 {
+			fi = pc.SteadyFreq(gov, busyGHz/pc.FMax)
+		}
+		ui := 1.0
+		if fi > 0 && busyGHz/fi < 1 {
+			ui = busyGHz / fi
+		}
+		states[i] = power.CoreState{Freq: fi, Util: ui}
+		cpuPct += ui * 100
+	}
+	// Report CPU as observed at the operating frequencies, like getrusage
+	// would on the governed machine.
+	m.CPUPercent = cpuPct
+	return m, pc.PackagePower(states), freq
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func perThreadUtil(rt *core.Runtime, wall float64) []float64 {
+	out := make([]float64, rt.Cfg.M)
+	for i := range out {
+		u := rt.Acct.Busy(i) / wall
+		if u > 1 {
+			u = 1
+		}
+		out[i] = u
+	}
+	return out
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// staticPower computes package power for n continuously-polling cores.
+func staticPower(pc power.Config, gov power.Governor, cores int) float64 {
+	states := make([]power.CoreState, cores)
+	for i := range states {
+		f := pc.SteadyFreq(gov, 1)
+		states[i] = power.CoreState{Freq: f, Util: 1}
+	}
+	return pc.PackagePower(states)
+}
+
+// --- formatting helpers ----------------------------------------------------
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func us(v float64) string  { return fmt.Sprintf("%.2f", v*1e6) }
+func pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+func mpps(v float64) string {
+	return fmt.Sprintf("%.2f", v/1e6)
+}
+func permille(v float64) string { return fmt.Sprintf("%.4f", v*1000) }
+
+// dur scales a nominal duration down in quick mode.
+func dur(o Options, full float64) float64 {
+	if o.Quick {
+		return full / 10
+	}
+	return full
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 42} }
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s[%d][%d] = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: no column %q", tab.ID, name)
+	return -1
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation has an experiment.
+	want := []string{
+		"fig1", "fig4", "tab1", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "tab2", "fig12", "fig13", "fig14", "fig15",
+		"tab3", "fig16",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(All()) < len(want)+4 { // plus the ablations
+		t.Errorf("registry has %d experiments", len(All()))
+	}
+}
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(quick())
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: empty table", tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("%s: row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+					}
+				}
+				var buf bytes.Buffer
+				tab.Render(&buf)
+				if !strings.Contains(buf.String(), tab.ID) {
+					t.Errorf("%s: render missing header", tab.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab := mustRun(t, "fig1")[0]
+	// hr_sleep mean below nanosleep mean at every granularity.
+	meanCol := colIndex(t, tab, "mean")
+	for r := 0; r < len(tab.Rows); r += 2 {
+		hr, nano := cell(t, tab, r, meanCol), cell(t, tab, r+1, meanCol)
+		if hr >= nano {
+			t.Errorf("row %d: hr_sleep %.3f >= nanosleep %.3f", r, hr, nano)
+		}
+	}
+}
+
+func TestTab1Shape(t *testing.T) {
+	tab := mustRun(t, "tab1")[0]
+	vCol := colIndex(t, tab, "measured_V_us")
+	nvCol := colIndex(t, tab, "N_V")
+	lossCol := colIndex(t, tab, "loss_permille")
+	prevV := 0.0
+	for r := range tab.Rows {
+		v := cell(t, tab, r, vCol)
+		if v <= prevV {
+			t.Errorf("measured V not increasing at row %d", r)
+		}
+		prevV = v
+		// N_V consistent with Little's law at 14.88 Mpps.
+		nv := cell(t, tab, r, nvCol)
+		if want := 14.88 * v; nv < want*0.7 || nv > want*1.3 {
+			t.Errorf("row %d: N_V=%v, Little predicts %v", r, nv, want)
+		}
+	}
+	// Loss at the smallest target ~0; at the largest it may only appear in
+	// full-length runs (the V̄=20 clipping is a tail event), so quick mode
+	// merely requires it not to shrink.
+	if l0 := cell(t, tab, 0, lossCol); l0 > 0.5 {
+		t.Errorf("loss at V̄=5us = %v permille", l0)
+	}
+	last := len(tab.Rows) - 1
+	if lN := cell(t, tab, last, lossCol); lN < cell(t, tab, 0, lossCol) {
+		t.Errorf("loss shrank with target: %v", lN)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tabs := mustRun(t, "fig5")
+	for _, tab := range tabs {
+		latCol := colIndex(t, tab, "lat_mean_us")
+		cpuCol := colIndex(t, tab, "cpu_pct")
+		// Latency grows with the target, CPU falls.
+		if !(cell(t, tab, len(tab.Rows)-1, latCol) > cell(t, tab, 0, latCol)) {
+			t.Errorf("%s: latency not increasing with V̄", tab.Title)
+		}
+		if !(cell(t, tab, len(tab.Rows)-1, cpuCol) < cell(t, tab, 0, cpuCol)) {
+			t.Errorf("%s: CPU not decreasing with V̄", tab.Title)
+		}
+	}
+}
+
+func TestFig6Fig7Shapes(t *testing.T) {
+	f6 := mustRun(t, "fig6")[0]
+	btCol := colIndex(t, f6, "busy_tries_pct")
+	if !(cell(t, f6, len(f6.Rows)-1, btCol) < cell(t, f6, 0, btCol)) {
+		t.Error("fig6: busy tries not decreasing with TL")
+	}
+	f7 := mustRun(t, "fig7")[0]
+	btCol = colIndex(t, f7, "busy_tries_pct")
+	if !(cell(t, f7, len(f7.Rows)-1, btCol) > cell(t, f7, 0, btCol)) {
+		t.Error("fig7: busy tries not increasing with M")
+	}
+}
+
+func TestFig9Tracks(t *testing.T) {
+	tab := mustRun(t, "fig9")[0]
+	// The note carries the tracking error; re-derive a coarse check from
+	// rows: apex estimate within 35% of apex offered.
+	offCol := colIndex(t, tab, "offered_mpps")
+	estCol := colIndex(t, tab, "estimated_mpps")
+	bestOff, bestEst := 0.0, 0.0
+	for r := range tab.Rows {
+		if off := cell(t, tab, r, offCol); off > bestOff {
+			bestOff, bestEst = off, cell(t, tab, r, estCol)
+		}
+	}
+	if bestOff < 10 {
+		t.Fatalf("ramp never approached peak: %v", bestOff)
+	}
+	if bestEst < bestOff*0.65 || bestEst > bestOff*1.35 {
+		t.Errorf("apex estimate %v vs offered %v", bestEst, bestOff)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tabs := mustRun(t, "fig10")
+	cpu := tabs[1]
+	stCol := colIndex(t, cpu, "static")
+	meCol := colIndex(t, cpu, "metronome")
+	xdCol := colIndex(t, cpu, "xdp")
+	for r := range cpu.Rows {
+		st, me, xd := cell(t, cpu, r, stCol), cell(t, cpu, r, meCol), cell(t, cpu, r, xdCol)
+		if me >= st {
+			t.Errorf("row %d: metronome CPU %v >= static %v", r, me, st)
+		}
+		_ = xd
+	}
+	// Paper: ~40% saving at line rate, >5x at 0.5 Gbps.
+	if me := cell(t, cpu, 0, meCol); me > 75 {
+		t.Errorf("line-rate metronome CPU = %v%%", me)
+	}
+	if me := cell(t, cpu, len(cpu.Rows)-1, meCol); me > 30 {
+		t.Errorf("0.5G metronome CPU = %v%%", me)
+	}
+	// XDP burns more CPU than metronome at high rates.
+	if xd := cell(t, cpu, 0, xdCol); xd < 200 {
+		t.Errorf("XDP line-rate CPU = %v%%", xd)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tabs := mustRun(t, "fig11")
+	for _, tab := range tabs {
+		powCol := colIndex(t, tab, "power_w")
+		sysCol := colIndex(t, tab, "system")
+		// At zero traffic Metronome must beat static on power.
+		var metIdle, stIdle float64
+		for r := range tab.Rows {
+			rate := cell(t, tab, r, 0)
+			if rate == 0 {
+				if tab.Rows[r][sysCol] == "metronome" {
+					metIdle = cell(t, tab, r, powCol)
+				} else {
+					stIdle = cell(t, tab, r, powCol)
+				}
+			}
+		}
+		if metIdle <= 0 || stIdle <= 0 || metIdle >= stIdle {
+			t.Errorf("%s: idle power metronome %v vs static %v", tab.ID, metIdle, stIdle)
+		}
+	}
+}
+
+func TestTab2Shape(t *testing.T) {
+	tab := mustRun(t, "tab2")[0]
+	aloneCol := colIndex(t, tab, "alone")
+	sharedCol := colIndex(t, tab, "with_ferret")
+	// static: collapses to ~half; metronome: holds the line.
+	if v := cell(t, tab, 0, sharedCol); v > 8.5 || v < 6.0 {
+		t.Errorf("static shared throughput = %v, paper 7.34", v)
+	}
+	if v := cell(t, tab, 1, sharedCol); v < 14.5 {
+		t.Errorf("metronome shared throughput = %v, paper 14.88", v)
+	}
+	if cell(t, tab, 0, aloneCol) < 14.5 || cell(t, tab, 1, aloneCol) < 14.5 {
+		t.Error("alone throughput should be line rate for both")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := mustRun(t, "fig12")[0]
+	sCol := colIndex(t, tab, "slowdown")
+	static, met := cell(t, tab, 0, sCol), cell(t, tab, 1, sCol)
+	if static < 2.0 || static > 4.0 {
+		t.Errorf("static slowdown = %v, paper ~3x", static)
+	}
+	if met > 1.5 {
+		t.Errorf("metronome slowdown = %v, paper ~1.1x", met)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tab := mustRun(t, "fig15")[0]
+	cpuCol := colIndex(t, tab, "met_cpu_pct")
+	// Paper: more than half of static's 400% saved at 37 Mpps.
+	if v := cell(t, tab, 0, cpuCol); v > 220 {
+		t.Errorf("37Mpps metronome CPU = %v%%, want < 220", v)
+	}
+	// CPU decreasing with rate.
+	if !(cell(t, tab, len(tab.Rows)-1, cpuCol) < cell(t, tab, 0, cpuCol)) {
+		t.Error("CPU not decreasing with rate")
+	}
+	lossCol := colIndex(t, tab, "loss_permille")
+	if v := cell(t, tab, 0, lossCol); v > 2 {
+		t.Errorf("loss at 37 Mpps = %v permille", v)
+	}
+}
+
+func TestTab3Shape(t *testing.T) {
+	tab := mustRun(t, "tab3")[0]
+	shareCol := colIndex(t, tab, "share_pct")
+	triesCol := colIndex(t, tab, "total_tries")
+	rhoCol := colIndex(t, tab, "rho")
+	// Identify the hot row.
+	hot := -1
+	for r := range tab.Rows {
+		if cell(t, tab, r, shareCol) > 40 {
+			hot = r
+		}
+	}
+	if hot < 0 {
+		t.Fatal("no hot queue")
+	}
+	for r := range tab.Rows {
+		if r == hot {
+			continue
+		}
+		if cell(t, tab, hot, rhoCol) <= cell(t, tab, r, rhoCol) {
+			t.Errorf("hot queue rho %v not above queue %d", cell(t, tab, hot, rhoCol), r)
+		}
+		if cell(t, tab, hot, triesCol) >= cell(t, tab, r, triesCol) {
+			t.Errorf("hot queue tries %v not below queue %d (Table III trend)",
+				cell(t, tab, hot, triesCol), r)
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tabs := mustRun(t, "fig16")
+	for _, tab := range tabs {
+		stCol := colIndex(t, tab, "static_cpu_pct")
+		meCol := colIndex(t, tab, "metronome_cpu_pct")
+		// At peak the two converge (IPsec: both ~100); at the lowest rate
+		// Metronome is far below.
+		last := len(tab.Rows) - 1
+		if me, st := cell(t, tab, last, meCol), cell(t, tab, last, stCol); me > st/2 {
+			t.Errorf("%s: low-rate metronome CPU %v vs static %v", tab.ID, me, st)
+		}
+	}
+	// IPsec at its ceiling: metronome ~100% (never releases).
+	ipsec := tabs[0]
+	if v := cell(t, ipsec, 0, colIndex(t, ipsec, "metronome_cpu_pct")); v < 90 {
+		t.Errorf("ipsec peak CPU = %v%%, want ~100", v)
+	}
+	// And the same throughput as static (5.61).
+	if v := cell(t, ipsec, 0, colIndex(t, ipsec, "met_tput_mpps")); v < 5.3 {
+		t.Errorf("ipsec peak throughput = %v, want ~5.61", v)
+	}
+}
+
+func TestRobustnessShape(t *testing.T) {
+	tab := mustRun(t, "abl-robust")[0]
+	tputCol := colIndex(t, tab, "tput_mpps")
+	// M=1 on a hogged core collapses (paper ~8 Mpps)...
+	if v := cell(t, tab, 1, tputCol); v > 10 {
+		t.Errorf("hogged single thread tput = %v, want a collapse", v)
+	}
+	// ...while M=3 holds the line even with one core hogged.
+	if v := cell(t, tab, 2, tputCol); v < 14.0 {
+		t.Errorf("M=3 one-hogged tput = %v, want ~14.88", v)
+	}
+	// And all-hogged stays close to line rate (the paper's zero-loss run).
+	if v := cell(t, tab, 3, tputCol); v < 13.5 {
+		t.Errorf("M=3 all-hogged tput = %v", v)
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	eq := mustRun(t, "abl-timeouts")[0]
+	btCol := colIndex(t, eq, "busy_tries_pct")
+	if !(cell(t, eq, 0, btCol) > cell(t, eq, 1, btCol)) {
+		t.Error("equal timeouts should waste more wakeups than the split")
+	}
+	tx := mustRun(t, "abl-txbatch")[0]
+	latCol := colIndex(t, tx, "lat_mean_us")
+	if !(cell(t, tx, 0, latCol) > cell(t, tx, 1, latCol)) {
+		t.Error("tx batch 1 should lower mean latency at low rate")
+	}
+}
+
+func TestPoissonAgnosticism(t *testing.T) {
+	tab := mustRun(t, "abl-poisson")[0]
+	cpuCol := colIndex(t, tab, "cpu_pct")
+	lossCol := colIndex(t, tab, "loss_permille")
+	// Per rate, CBR and Poisson rows sit adjacent: CPU within 15%.
+	for r := 0; r+1 < len(tab.Rows); r += 2 {
+		cbr, poi := cell(t, tab, r, cpuCol), cell(t, tab, r+1, cpuCol)
+		if cbr == 0 || poi/cbr > 1.15 || poi/cbr < 0.85 {
+			t.Errorf("row %d: process-dependent CPU: %v vs %v", r, cbr, poi)
+		}
+		if cell(t, tab, r+1, lossCol) > 1 {
+			t.Errorf("row %d: poisson loss = %v", r, cell(t, tab, r+1, lossCol))
+		}
+	}
+}
+
+func TestBlendCheckRatios(t *testing.T) {
+	tab := mustRun(t, "abl-blend")[0]
+	ratioCol := colIndex(t, tab, "ratio")
+	for r := range tab.Rows {
+		v := cell(t, tab, r, ratioCol)
+		// Measured V always >= the blend (backup inertia) but bounded.
+		if v < 0.9 || v > 3.5 {
+			t.Errorf("row %d: measured/eq10 ratio = %v", r, v)
+		}
+	}
+}
+
+func mustRun(t *testing.T, id string) []*Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %s", id)
+	}
+	return e.Run(quick())
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metronome/internal/core"
+	"metronome/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Mean busy/vacation period, N_V and loss vs target vacation",
+		Paper: "Table I: V grows with target; N_V tracks Little's law; loss appears near V̄=20us",
+		Run:   runTab1,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Latency and CPU vs target vacation period (10/5 Gbps)",
+		Paper: "Fig 5: latency grows and CPU falls as V̄ grows",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Busy tries and CPU vs TL",
+		Paper: "Fig 6: busy tries fall steeply up to TL=500us, then flatten",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Busy tries and CPU vs M",
+		Paper: "Fig 7: busy tries grow ~linearly with M; CPU creeps up",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Latency vs number of threads M (10/1 Gbps)",
+		Paper: "Fig 8: more threads -> higher latency, variance blows up at 1Gbps",
+		Run:   runFig8,
+	})
+}
+
+func runTab1(o Options) []*Table {
+	d := dur(o, 2.0)
+	t := &Table{
+		ID:    "tab1",
+		Title: "line rate 14.88 Mpps, M=3, TL=500us",
+		Columns: []string{
+			"target_V_us", "measured_V_us", "measured_B_us", "N_V", "loss_permille",
+		},
+	}
+	for i, vbar := range []float64{5e-6, 10e-6, 12e-6, 15e-6, 20e-6} {
+		cfg := core.DefaultConfig()
+		cfg.VBar = vbar
+		_, m := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(i))
+		t.Rows = append(t.Rows, []string{
+			f1(vbar * 1e6), us(m.MeanVacation), us(m.MeanBusy),
+			f2(m.MeanNV), permille(m.LossRate),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper row V̄=10: V=19.55us B=20.24us N_V=287.77 loss=0",
+		"effective buffering 576 packets: 512-descriptor ring + one FIFO burst (EXPERIMENTS.md)",
+	)
+	return []*Table{t}
+}
+
+func runFig5(o Options) []*Table {
+	d := dur(o, 1.0)
+	var tables []*Table
+	for _, gbps := range []float64{10, 5} {
+		t := &Table{
+			ID:      "fig5",
+			Title:   fmt.Sprintf("latency and CPU vs V̄ at %.0f Gbps", gbps),
+			Columns: []string{"target_V_us", "lat_mean_us", "lat_q1_us", "lat_q3_us", "cpu_pct"},
+		}
+		for i, vbar := range []float64{2e-6, 5e-6, 7e-6, 10e-6} {
+			cfg := core.DefaultConfig()
+			cfg.VBar = vbar
+			_, m := singleQueueCBR(cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(100+i))
+			t.Rows = append(t.Rows, []string{
+				f1(vbar * 1e6), us(m.Latency.Mean), us(m.Latency.Q1), us(m.Latency.Q3),
+				pct(m.CPUPercent),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func runFig6(o Options) []*Table {
+	d := dur(o, 1.0)
+	t := &Table{
+		ID:      "fig6",
+		Title:   "busy tries and CPU vs TL, line rate, M=3, V̄=10us",
+		Columns: []string{"TL_us", "busy_tries_pct", "cpu_pct"},
+	}
+	for i, tl := range []float64{100e-6, 300e-6, 500e-6, 700e-6} {
+		cfg := core.DefaultConfig()
+		cfg.TL = tl
+		_, m := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(200+i))
+		t.Rows = append(t.Rows, []string{
+			f1(tl * 1e6), pct(m.BusyTryFrac * 100), pct(m.CPUPercent),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: most of the gain lands before TL=500us")
+	return []*Table{t}
+}
+
+func runFig7(o Options) []*Table {
+	d := dur(o, 1.0)
+	t := &Table{
+		ID:      "fig7",
+		Title:   "busy tries and CPU vs M, line rate, V̄=10us, TL=500us",
+		Columns: []string{"M", "busy_tries_pct", "cpu_pct"},
+	}
+	for i, m := range []int{2, 3, 4, 5, 6} {
+		cfg := core.DefaultConfig()
+		cfg.M = m
+		_, met := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(300+i))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m), pct(met.BusyTryFrac * 100), pct(met.CPUPercent),
+		})
+	}
+	return []*Table{t}
+}
+
+func runFig8(o Options) []*Table {
+	d := dur(o, 1.0)
+	var tables []*Table
+	for _, gbps := range []float64{10, 1} {
+		t := &Table{
+			ID:      "fig8",
+			Title:   fmt.Sprintf("latency vs M at %.0f Gbps", gbps),
+			Columns: []string{"M", "lat_mean_us", "lat_q1_us", "lat_q3_us", "lat_max_us", "lat_std_us"},
+		}
+		for i, m := range []int{2, 3, 4, 5, 6} {
+			cfg := core.DefaultConfig()
+			cfg.M = m
+			_, met := singleQueueCBR(cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(400+i))
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", m),
+				us(met.Latency.Mean), us(met.Latency.Q1), us(met.Latency.Q3),
+				us(met.Latency.Max), us(met.LatencyStd),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,119 @@
+// Package mbuf provides packet buffers and a fixed-size buffer pool in the
+// mould of DPDK's rte_mbuf/rte_mempool: buffers are preallocated once,
+// leased and returned without garbage, and the pool is safe for concurrent
+// use by producer and consumer threads.
+package mbuf
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"metronome/internal/packet"
+)
+
+// ErrExhausted reports an allocation from an empty pool — the software
+// analogue of an Rx descriptor shortage, which on a real NIC turns into
+// imissed drops.
+var ErrExhausted = errors.New("mbuf: pool exhausted")
+
+// Mbuf is one packet buffer. Data aliases a fixed backing array owned by
+// the pool; Len is the frame length in use.
+type Mbuf struct {
+	Data    []byte
+	Len     int
+	RxStamp time.Time      // arrival timestamp (latency accounting)
+	Key     packet.FlowKey // parsed 5-tuple, filled by the Rx path
+	Meta    uint64         // scratch for applications (e.g. next hop)
+	pool    *Pool
+	backing [maxFrame]byte
+}
+
+const maxFrame = 2048 // covers standard MTU frames, like DPDK's default seg
+
+// Bytes returns the in-use frame contents.
+func (m *Mbuf) Bytes() []byte { return m.Data[:m.Len] }
+
+// SetFrame copies frame into the buffer and sets Len.
+func (m *Mbuf) SetFrame(frame []byte) {
+	n := copy(m.backing[:], frame)
+	m.Data = m.backing[:]
+	m.Len = n
+}
+
+// Free returns the buffer to its pool. Double-free panics: it is always a
+// driver bug, and DPDK aborts on it too (in debug builds).
+func (m *Mbuf) Free() {
+	if m.pool == nil {
+		panic("mbuf: double free or foreign buffer")
+	}
+	p := m.pool
+	m.pool = nil
+	p.put(m)
+}
+
+// Pool is a bounded free list of Mbufs.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Mbuf
+	size int
+
+	allocs, fails int64
+}
+
+// NewPool preallocates size buffers.
+func NewPool(size int) *Pool {
+	p := &Pool{size: size, free: make([]*Mbuf, 0, size)}
+	for i := 0; i < size; i++ {
+		m := &Mbuf{}
+		m.Data = m.backing[:]
+		p.free = append(p.free, m)
+	}
+	return p
+}
+
+// Size returns the configured pool size.
+func (p *Pool) Size() int { return p.size }
+
+// Available returns the current number of free buffers.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Get leases a buffer, or returns ErrExhausted.
+func (p *Pool) Get() (*Mbuf, error) {
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.fails++
+		p.mu.Unlock()
+		return nil, ErrExhausted
+	}
+	m := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.allocs++
+	p.mu.Unlock()
+	m.pool = p
+	m.Len = 0
+	m.Meta = 0
+	return m, nil
+}
+
+func (p *Pool) put(m *Mbuf) {
+	p.mu.Lock()
+	if len(p.free) >= p.size {
+		p.mu.Unlock()
+		panic("mbuf: pool overflow (foreign or double-freed buffer)")
+	}
+	p.free = append(p.free, m)
+	p.mu.Unlock()
+}
+
+// Stats reports allocation counters: total successful leases and failures.
+func (p *Pool) Stats() (allocs, fails int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs, p.fails
+}

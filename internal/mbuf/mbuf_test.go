@@ -1,0 +1,131 @@
+package mbuf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolExhaustionAndReuse(t *testing.T) {
+	p := NewPool(2)
+	a, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); err != ErrExhausted {
+		t.Fatalf("third Get err = %v, want ErrExhausted", err)
+	}
+	a.Free()
+	c, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get after Free: %v", err)
+	}
+	if c != a {
+		t.Fatal("pool did not reuse the freed buffer")
+	}
+	b.Free()
+	c.Free()
+	if p.Available() != 2 {
+		t.Fatalf("available = %d", p.Available())
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewPool(1)
+	m, _ := p.Get()
+	p.Get() // fails
+	m.Free()
+	allocs, fails := p.Stats()
+	if allocs != 1 || fails != 1 {
+		t.Fatalf("allocs=%d fails=%d", allocs, fails)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := NewPool(1)
+	m, _ := p.Get()
+	m.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.Free()
+}
+
+func TestSetFrame(t *testing.T) {
+	p := NewPool(1)
+	m, _ := p.Get()
+	frame := []byte{1, 2, 3, 4}
+	m.SetFrame(frame)
+	if m.Len != 4 {
+		t.Fatalf("len = %d", m.Len)
+	}
+	got := m.Bytes()
+	for i := range frame {
+		if got[i] != frame[i] {
+			t.Fatalf("bytes = %v", got)
+		}
+	}
+	// SetFrame copies: mutating the source must not affect the mbuf.
+	frame[0] = 99
+	if m.Bytes()[0] == 99 {
+		t.Fatal("SetFrame aliased the source")
+	}
+}
+
+func TestSetFrameTruncatesOversized(t *testing.T) {
+	p := NewPool(1)
+	m, _ := p.Get()
+	m.SetFrame(make([]byte, 5000))
+	if m.Len != maxFrame {
+		t.Fatalf("oversize frame len = %d, want %d", m.Len, maxFrame)
+	}
+}
+
+func TestGetResetsState(t *testing.T) {
+	p := NewPool(1)
+	m, _ := p.Get()
+	m.Meta = 42
+	m.SetFrame([]byte{1})
+	m.Free()
+	m2, _ := p.Get()
+	if m2.Meta != 0 || m2.Len != 0 {
+		t.Fatalf("reused mbuf not reset: meta=%d len=%d", m2.Meta, m2.Len)
+	}
+}
+
+func TestConcurrentGetFree(t *testing.T) {
+	p := NewPool(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				m, err := p.Get()
+				if err != nil {
+					continue
+				}
+				m.SetFrame([]byte{byte(i)})
+				m.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 64 {
+		t.Fatalf("leaked buffers: available=%d", p.Available())
+	}
+}
+
+func BenchmarkGetFree(b *testing.B) {
+	p := NewPool(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, _ := p.Get()
+		m.Free()
+	}
+}

@@ -1,0 +1,195 @@
+// Package model implements the closed-form analysis of Metronome's renewal
+// cycle (Sec. IV of the paper): vacation-period statistics at high, low and
+// intermediate load, the busy-period fixed point, the load estimator, and
+// the adaptive short-timeout rule that the runtime applies.
+//
+// Two known typos in the paper's arXiv text are corrected here and verified
+// by tests against numerical integration:
+//
+//   - eq. (7) Ps,succ: the printed closed form drops the leading
+//     "1 -"; the integral evaluates to (1-(1-TS/TL)^(M-1))/(M-1).
+//   - eq. (10) exact form: the printed denominator swaps TS and TL; the
+//     integrand P(thread asleep at x) = 1 - p*x/TS - (1-p)*x/TL yields
+//     denominator M*(p/TS + (1-p)/TL), which is the only version consistent
+//     with the paper's own TL >> TS approximation printed right below it.
+package model
+
+import "math"
+
+// CDFVHighLoad is eq. (5): the CDF of the vacation period at high load with
+// one primary thread (fixed timeout TS) and M-1 backup threads whose
+// residual timeouts are uniform on [0, TL] under the decorrelation
+// assumption.
+func CDFVHighLoad(x, ts, tl float64, m int) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= ts {
+		return 1
+	}
+	return 1 - math.Pow(1-x/tl, float64(m-1))
+}
+
+// PDFVHighLoad is eq. (9): the density of the vacation period for x < TS.
+// The distribution also carries an atom of mass (1-TS/TL)^(M-1) at x = TS
+// (the primary thread's own timer fires first); Atom returns it.
+func PDFVHighLoad(x, ts, tl float64, m int) float64 {
+	if x < 0 || x >= ts {
+		return 0
+	}
+	return float64(m-1) / tl * math.Pow(1-x/tl, float64(m-2))
+}
+
+// AtomAtTS returns the probability mass that the vacation period equals
+// exactly TS under the high-load model (no backup fires before the primary).
+func AtomAtTS(ts, tl float64, m int) float64 {
+	return math.Pow(1-ts/tl, float64(m-1))
+}
+
+// EVHighLoad is eq. (6): the mean vacation period at high load.
+func EVHighLoad(ts, tl float64, m int) float64 {
+	return tl / float64(m) * (1 - math.Pow(1-ts/tl, float64(m)))
+}
+
+// PSucc is eq. (7) (corrected): the probability that one of the M-1 backup
+// threads gains the Rx queue at its wake-up, i.e. fires before the primary's
+// TS timer.
+func PSucc(ts, tl float64, m int) float64 {
+	if m < 2 {
+		return 0
+	}
+	return (1 - math.Pow(1-ts/tl, float64(m-1))) / float64(m-1)
+}
+
+// CDFVLowLoad is eq. (8): at low load every thread stays primary, so the
+// vacation period is the minimum of M residual timeouts uniform on [0, TS].
+func CDFVLowLoad(x, ts float64, m int) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= ts {
+		return 1
+	}
+	return 1 - math.Pow(1-x/ts, float64(m))
+}
+
+// EVLowLoad returns the exact mean of the eq. (8) distribution, TS/(M+1).
+// The paper quotes the slightly looser TS/M, which is what its blended
+// formula eq. (10) produces at p = 1; both are exposed so the experiment
+// harness can show the gap.
+func EVLowLoad(ts float64, m int) float64 { return ts / float64(m+1) }
+
+// EVGeneralExact is the exact blended mean vacation period of Sec. IV-C
+// (corrected form, see package comment): each of the M-1 non-primary
+// threads is independently primary with probability p.
+func EVGeneralExact(ts, tl float64, m int, p float64) float64 {
+	a := p/ts + (1-p)/tl
+	if a == 0 {
+		return ts // degenerate: nobody ever wakes before TS
+	}
+	return (1 - math.Pow((1-p)*(1-ts/tl), float64(m))) / (float64(m) * a)
+}
+
+// EVGeneralApprox is eq. (10): the TL >> TS approximation
+// E[V] = TS/M * (1-(1-p)^M)/p, with the p->0 limit handled exactly.
+func EVGeneralApprox(ts float64, m int, p float64) float64 {
+	if p <= 0 {
+		return ts
+	}
+	return ts / float64(m) * (1 - math.Pow(1-p, float64(m))) / p
+}
+
+// Rho is eq. (4): the load estimate from an observed mean busy period and
+// mean vacation period, rho = B/(V+B).
+func Rho(meanBusy, meanVacation float64) float64 {
+	d := meanBusy + meanVacation
+	if d == 0 {
+		return 0
+	}
+	return meanBusy / d
+}
+
+// BusyPeriod is eq. (3): the mean busy period that follows a vacation of
+// duration v under load rho = lambda/mu, B = v*rho/(1-rho). It returns
+// +Inf at rho >= 1 (the queue never empties).
+func BusyPeriod(v, rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	if rho <= 0 {
+		return 0
+	}
+	return v * rho / (1 - rho)
+}
+
+// TSForTarget is eq. (13): the adaptive short-timeout rule that keeps the
+// mean vacation period at the target vbar under load rho,
+// TS = M*(1-rho)/(1-rho^M) * vbar, evaluated stably near rho = 1 via the
+// geometric-sum form TS = M*vbar/(1+rho+...+rho^(M-1)).
+func TSForTarget(vbar, rho float64, m int) float64 {
+	return tsGeometric(vbar, rho, float64(m))
+}
+
+// TSForTargetMultiqueue is eq. (14): the per-queue rule with N queues,
+// TS_i = (M/N)*(1-rho_i)/(1-rho_i^(M/N)) * vbar. M/N is real-valued: it is
+// the average number of threads attending one queue.
+func TSForTargetMultiqueue(vbar, rhoI float64, m, n int) float64 {
+	return tsGeometric(vbar, rhoI, float64(m)/float64(n))
+}
+
+// tsGeometric evaluates k*(1-rho)/(1-rho^k)*vbar for a possibly fractional
+// number of competitors k, with removable singularities at rho = 0 and 1.
+func tsGeometric(vbar, rho, k float64) float64 {
+	if k <= 0 {
+		return vbar
+	}
+	if rho <= 0 {
+		return k * vbar
+	}
+	if rho >= 1 {
+		return vbar
+	}
+	den := 1 - math.Pow(rho, k)
+	if den <= 0 {
+		return vbar
+	}
+	return k * (1 - rho) / den * vbar
+}
+
+// PrimaryProb maps a load estimate to the probability that a thread finds
+// the queue idle when it samples it, p = 1 - rho (Sec. IV-C).
+func PrimaryProb(rho float64) float64 {
+	if rho < 0 {
+		return 1
+	}
+	if rho > 1 {
+		return 0
+	}
+	return 1 - rho
+}
+
+// MeanArrivalsDuring returns Little's-law packet count over an interval of
+// mean length t at arrival rate lambda (footnote 2 of the paper).
+func MeanArrivalsDuring(lambda, t float64) float64 { return lambda * t }
+
+// Integrate computes the Simpson-rule integral of f over [a,b] with n
+// (even, >= 2) panels. Tests use it to validate every closed form above.
+func Integrate(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}

@@ -1,0 +1,378 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"metronome/internal/xrand"
+)
+
+const (
+	us = 1e-6
+	eq = 1e-9
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// --- eq (5)/(9): high-load vacation distribution -------------------------
+
+func TestCDFVHighLoadBounds(t *testing.T) {
+	ts, tl := 10*us, 500*us
+	if CDFVHighLoad(-1, ts, tl, 3) != 0 {
+		t.Error("CDF below 0 not 0")
+	}
+	if CDFVHighLoad(ts, ts, tl, 3) != 1 {
+		t.Error("CDF at TS not 1 (primary always fires by TS)")
+	}
+	if CDFVHighLoad(2*ts, ts, tl, 3) != 1 {
+		t.Error("CDF past TS not 1")
+	}
+}
+
+func TestCDFVHighLoadMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		ts := r.Uniform(1, 50) * us
+		tl := ts * r.Uniform(2, 100)
+		m := 2 + r.Intn(6)
+		prev := -1.0
+		for i := 0; i <= 100; i++ {
+			x := float64(i) / 100 * ts
+			c := CDFVHighLoad(x, ts, tl, m)
+			if c < prev-eq || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	ts, tl, m := 50*us, 50*us, 3 // the Fig 4 setting TS=TL
+	mass := Integrate(func(x float64) float64 { return PDFVHighLoad(x, ts, tl, m) }, 0, ts, 2000)
+	want := 1 - AtomAtTS(ts, tl, m)
+	if !close(mass, want, 1e-6) {
+		t.Errorf("PDF mass = %v, want %v (1 - atom)", mass, want)
+	}
+}
+
+func TestPDFMatchesCDFDerivative(t *testing.T) {
+	ts, tl, m := 10*us, 500*us, 5
+	h := ts / 1e6
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		x := frac * ts
+		num := (CDFVHighLoad(x+h, ts, tl, m) - CDFVHighLoad(x-h, ts, tl, m)) / (2 * h)
+		if !close(num, PDFVHighLoad(x, ts, tl, m), 1e-3*num+1e-6) {
+			t.Errorf("at x=%.2g: dCDF/dx=%v PDF=%v", x, num, PDFVHighLoad(x, ts, tl, m))
+		}
+	}
+}
+
+// --- eq (6): E[V] at high load --------------------------------------------
+
+func TestEVHighLoadMatchesIntegral(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		ts := r.Uniform(1, 50) * us
+		tl := ts * r.Uniform(1.5, 100)
+		m := 2 + r.Intn(6)
+		// E[V] = integral of survival function over [0, TS].
+		num := Integrate(func(x float64) float64 {
+			return 1 - CDFVHighLoad(x, ts, tl, m)
+		}, 0, ts, 4000)
+		return close(EVHighLoad(ts, tl, m), num, 1e-4*num+1e-12)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEVHighLoadLimits(t *testing.T) {
+	ts := 10 * us
+	// TL -> infinity: backups never interfere; E[V] -> TS.
+	if got := EVHighLoad(ts, 1e9*ts, 3); !close(got, ts, 1e-6*ts) {
+		t.Errorf("E[V] with huge TL = %v, want ~TS", got)
+	}
+	// TL = TS, M threads: the paper's TS/M simplification.
+	if got := EVHighLoad(ts, ts, 4); !close(got, ts/4, eq) {
+		t.Errorf("E[V] with TL=TS, M=4 = %v, want TS/4", got)
+	}
+}
+
+// --- eq (7): backup success probability ------------------------------------
+
+func TestPSuccMatchesIntegral(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		ts := r.Uniform(1, 50) * us
+		tl := ts * r.Uniform(1.5, 100)
+		m := 2 + r.Intn(6)
+		num := Integrate(func(x float64) float64 {
+			return 1 / tl * math.Pow(1-x/tl, float64(m-2))
+		}, 0, ts, 4000)
+		return close(PSucc(ts, tl, m), num, 1e-5*num+1e-12)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSuccProperties(t *testing.T) {
+	ts, tl := 10*us, 500*us
+	if PSucc(ts, tl, 1) != 0 {
+		t.Error("single thread has no backups")
+	}
+	p3, p6 := PSucc(ts, tl, 3), PSucc(ts, tl, 6)
+	if p3 <= 0 || p3 > 1 || p6 <= 0 || p6 > 1 {
+		t.Errorf("PSucc out of range: %v %v", p3, p6)
+	}
+	// Larger TL => backups less likely to fire inside TS.
+	if PSucc(ts, 10*tl, 3) >= p3 {
+		t.Error("PSucc should decrease with TL")
+	}
+}
+
+// --- eq (8): low-load distribution ------------------------------------------
+
+func TestCDFVLowLoadProperties(t *testing.T) {
+	ts := 10 * us
+	if CDFVLowLoad(ts/2, ts, 3) <= CDFVLowLoad(ts/2, ts, 2) {
+		t.Error("more threads should shorten vacations stochastically")
+	}
+	if CDFVLowLoad(ts, ts, 2) != 1 {
+		t.Error("CDF at TS must be 1")
+	}
+}
+
+func TestEVLowLoadMatchesIntegral(t *testing.T) {
+	ts, m := 20*us, 4
+	num := Integrate(func(x float64) float64 { return 1 - CDFVLowLoad(x, ts, m) }, 0, ts, 4000)
+	if !close(EVLowLoad(ts, m), num, 1e-5*num) {
+		t.Errorf("EVLowLoad = %v, integral = %v", EVLowLoad(ts, m), num)
+	}
+}
+
+// --- eq (10): blended model ---------------------------------------------------
+
+func TestEVGeneralExactMatchesIntegral(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		ts := r.Uniform(1, 50) * us
+		tl := ts * r.Uniform(1.5, 100)
+		m := 2 + r.Intn(6)
+		p := r.Float64()
+		num := Integrate(func(x float64) float64 {
+			return math.Pow(1-p*x/ts-(1-p)*x/tl, float64(m-1))
+		}, 0, ts, 4000)
+		return close(EVGeneralExact(ts, tl, m, p), num, 1e-4*num+1e-12)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEVGeneralLimits(t *testing.T) {
+	ts, tl, m := 10*us, 500*us, 3
+	// p -> 0 (high load): E[V] -> TS under the approximation.
+	if got := EVGeneralApprox(ts, m, 0); !close(got, ts, eq) {
+		t.Errorf("approx at p=0 = %v, want TS", got)
+	}
+	// p = 1 (low load): E[V] = TS/M, the paper's simplification.
+	if got := EVGeneralApprox(ts, m, 1); !close(got, ts/float64(m), eq) {
+		t.Errorf("approx at p=1 = %v, want TS/M", got)
+	}
+	// Exact and approx agree when TL >> TS.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		ex := EVGeneralExact(ts, 1e5*ts, m, p)
+		ap := EVGeneralApprox(ts, m, p)
+		if !close(ex, ap, 1e-3*ap) {
+			t.Errorf("p=%v: exact %v vs approx %v with TL>>TS", p, ex, ap)
+		}
+	}
+	_ = tl
+}
+
+func TestEVGeneralMonotoneInP(t *testing.T) {
+	// More primaries => shorter vacations.
+	ts, tl, m := 10*us, 500*us, 4
+	prev := math.Inf(1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		v := EVGeneralExact(ts, tl, m, p)
+		if v > prev+eq {
+			t.Fatalf("E[V] not monotone decreasing in p at p=%v", p)
+		}
+		prev = v
+	}
+}
+
+// --- eq (3)/(4): busy period and load estimation -----------------------------
+
+func TestBusyPeriodFixedPoint(t *testing.T) {
+	// B must satisfy B = rho*(V+B) — the defining fixed point of eq (2).
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		v := r.Uniform(1, 100) * us
+		rho := r.Uniform(0.01, 0.99)
+		b := BusyPeriod(v, rho)
+		return close(b, rho*(v+b), 1e-9*(v+b))
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyPeriodEdges(t *testing.T) {
+	if BusyPeriod(10*us, 0) != 0 {
+		t.Error("no load, no busy period")
+	}
+	if !math.IsInf(BusyPeriod(10*us, 1), 1) {
+		t.Error("rho=1 should diverge")
+	}
+}
+
+func TestRhoInvertsBusyPeriod(t *testing.T) {
+	// Estimating rho from (V, B(V, rho)) must recover rho: eq (4) is the
+	// inverse of eq (3).
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		v := r.Uniform(1, 100) * us
+		rho := r.Uniform(0.01, 0.99)
+		return close(Rho(BusyPeriod(v, rho), v), rho, 1e-9)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRhoEdges(t *testing.T) {
+	if Rho(0, 0) != 0 {
+		t.Error("degenerate cycle should estimate 0")
+	}
+	if Rho(5, 0) != 1 {
+		t.Error("all-busy cycle should estimate 1")
+	}
+}
+
+// --- eq (13)/(14): the adaptive rule -------------------------------------------
+
+func TestTSForTargetLimits(t *testing.T) {
+	vbar, m := 10*us, 3
+	if got := TSForTarget(vbar, 0, m); !close(got, float64(m)*vbar, eq) {
+		t.Errorf("TS at rho=0 = %v, want M*vbar (eq 12 low load)", got)
+	}
+	if got := TSForTarget(vbar, 1, m); !close(got, vbar, eq) {
+		t.Errorf("TS at rho=1 = %v, want vbar (eq 12 high load)", got)
+	}
+}
+
+func TestTSForTargetGeometricForm(t *testing.T) {
+	// eq (13) rewritten: TS = M*vbar / (1 + rho + ... + rho^(M-1)).
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		vbar := r.Uniform(1, 50) * us
+		rho := r.Uniform(0.001, 0.999)
+		m := 2 + r.Intn(6)
+		sum := 0.0
+		for k := 0; k < m; k++ {
+			sum += math.Pow(rho, float64(k))
+		}
+		want := float64(m) * vbar / sum
+		return close(TSForTarget(vbar, rho, m), want, 1e-9*want)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSForTargetMonotoneInRho(t *testing.T) {
+	vbar, m := 10*us, 5
+	prev := math.Inf(1)
+	for rho := 0.0; rho <= 1.0; rho += 0.02 {
+		v := TSForTarget(vbar, rho, m)
+		if v > prev+eq {
+			t.Fatalf("TS not decreasing in rho at rho=%v", rho)
+		}
+		if v < vbar-eq || v > float64(m)*vbar+eq {
+			t.Fatalf("TS out of [vbar, M*vbar] at rho=%v: %v", rho, v)
+		}
+		prev = v
+	}
+}
+
+func TestTSForTargetClampsOutOfRangeRho(t *testing.T) {
+	vbar, m := 10*us, 3
+	if got := TSForTarget(vbar, -0.5, m); !close(got, 3*vbar, eq) {
+		t.Errorf("negative rho should clamp to low-load rule, got %v", got)
+	}
+	if got := TSForTarget(vbar, 1.7, m); !close(got, vbar, eq) {
+		t.Errorf("rho>1 should clamp to high-load rule, got %v", got)
+	}
+}
+
+func TestTSMultiqueueReducesToSingle(t *testing.T) {
+	vbar := 15 * us
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if !close(TSForTargetMultiqueue(vbar, rho, 6, 1), TSForTarget(vbar, rho, 6), eq) {
+			t.Errorf("N=1 multiqueue rule must equal single-queue rule at rho=%v", rho)
+		}
+	}
+}
+
+func TestTSMultiqueueUsesPerQueueShare(t *testing.T) {
+	// With M=6 threads over N=3 queues, each queue sees on average 2
+	// threads: the rule must match the single-queue rule with M=2.
+	vbar := 15 * us
+	for _, rho := range []float64{0.2, 0.7269} { // second value from Table III
+		got := TSForTargetMultiqueue(vbar, rho, 6, 3)
+		want := TSForTarget(vbar, rho, 2)
+		if !close(got, want, eq) {
+			t.Errorf("rho=%v: multiqueue %v, single-queue-M/N %v", rho, got, want)
+		}
+	}
+}
+
+func TestTSMultiqueueFractionalThreads(t *testing.T) {
+	// M=5, N=4 (the Fig 15 configuration): k = 1.25 threads per queue.
+	got := TSForTargetMultiqueue(15*us, 0.5, 5, 4)
+	if got <= 15*us || got >= 1.25*15*us {
+		t.Errorf("fractional-k TS = %v, want strictly inside (vbar, 1.25*vbar)", got)
+	}
+}
+
+func TestPrimaryProb(t *testing.T) {
+	if PrimaryProb(0.3) != 0.7 {
+		t.Error("p = 1 - rho")
+	}
+	if PrimaryProb(-1) != 1 || PrimaryProb(2) != 0 {
+		t.Error("p must clamp to [0,1]")
+	}
+}
+
+func TestMeanArrivals(t *testing.T) {
+	// 14.88 Mpps over a 10 us vacation: 148.8 packets (Little's result).
+	if got := MeanArrivalsDuring(14.88e6, 10*us); !close(got, 148.8, 1e-9) {
+		t.Errorf("arrivals = %v", got)
+	}
+}
+
+func TestIntegrateKnown(t *testing.T) {
+	got := Integrate(math.Sin, 0, math.Pi, 1000)
+	if !close(got, 2, 1e-8) {
+		t.Errorf("integral of sin over [0,pi] = %v", got)
+	}
+	// Odd panel counts are rounded up rather than mis-weighted.
+	got = Integrate(func(x float64) float64 { return x }, 0, 1, 3)
+	if !close(got, 0.5, 1e-12) {
+		t.Errorf("integral with odd n = %v", got)
+	}
+}
+
+// Table I sanity: with V̄=10us at line rate the model predicts ~149 packets
+// per vacation; the paper measures N_V = 287.77 for a measured V of ~20 us,
+// i.e. the model and measurement agree through eq. Little.
+func TestTable1LittleConsistency(t *testing.T) {
+	lambda := 14.88e6
+	measuredV := 19.55 * us // paper Table I row vbar=10
+	nv := MeanArrivalsDuring(lambda, measuredV)
+	if math.Abs(nv-287.77)/287.77 > 0.02 {
+		t.Errorf("Little check against Table I: got %v, paper 287.77", nv)
+	}
+}

@@ -1,0 +1,364 @@
+// Package packet provides the wire-format substrate of the reproduction:
+// packet buffers, allocation-free Ethernet/IPv4/UDP/TCP codecs in the style
+// of gopacket's DecodingLayer (decode into caller-owned structs, no per
+// packet allocation), 5-tuple flow keys, and the Toeplitz hash used by
+// receive-side scaling.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire sizes and protocol numbers.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20 // without options
+	UDPHeaderLen  = 8
+	TCPHeaderLen  = 20 // without options
+
+	EtherTypeIPv4 = 0x0800
+
+	ProtoTCP = 6
+	ProtoUDP = 17
+	ProtoESP = 50
+
+	// MinFrame is the minimal Ethernet frame (64B with FCS), the paper's
+	// worst-case test size.
+	MinFrame = 60 // on-host bytes; FCS (4B) is added by the MAC
+)
+
+var (
+	ErrTooShort   = errors.New("packet: buffer too short")
+	ErrBadVersion = errors.New("packet: not IPv4")
+	ErrBadLength  = errors.New("packet: inconsistent length field")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the conventional colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IPv4 addresses are host-order uint32s: compact, comparable, map-friendly.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from dotted-quad bytes.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders dotted-quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Ethernet is the decoded L2 header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// DecodeFromBytes parses the header; it retains no references to data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthHeaderLen {
+		return ErrTooShort
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return nil
+}
+
+// SerializeTo writes the header into b, which must be >= EthHeaderLen.
+func (e *Ethernet) SerializeTo(b []byte) error {
+	if len(b) < EthHeaderLen {
+		return ErrTooShort
+	}
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return nil
+}
+
+// IPv4 is the decoded L3 header (options unsupported: DPDK fast paths don't
+// emit them and the paper's workloads never carry them).
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst Addr
+}
+
+// DecodeFromBytes parses a 20-byte IPv4 header.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTooShort
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return ErrBadVersion
+	}
+	if int(vihl&0x0f)*4 != IPv4HeaderLen {
+		return fmt.Errorf("packet: IPv4 options unsupported (ihl=%d)", vihl&0x0f)
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	if int(ip.TotalLen) < IPv4HeaderLen {
+		return ErrBadLength
+	}
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = Addr(binary.BigEndian.Uint32(data[12:16]))
+	ip.Dst = Addr(binary.BigEndian.Uint32(data[16:20]))
+	return nil
+}
+
+// SerializeTo writes the header with a freshly computed checksum.
+func (ip *IPv4) SerializeTo(b []byte) error {
+	if len(b) < IPv4HeaderLen {
+		return ErrTooShort
+	}
+	b[0] = 4<<4 | IPv4HeaderLen/4
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[2:4], ip.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	b[10], b[11] = 0, 0
+	binary.BigEndian.PutUint32(b[12:16], uint32(ip.Src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(ip.Dst))
+	ip.Checksum = Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], ip.Checksum)
+	return nil
+}
+
+// VerifyChecksum reports whether the 20-byte header in data checksums to 0.
+func VerifyChecksum(data []byte) bool {
+	if len(data) < IPv4HeaderLen {
+		return false
+	}
+	return Checksum(data[:IPv4HeaderLen]) == 0
+}
+
+// Checksum computes the RFC 1071 Internet checksum over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDP is the decoded L4 header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// DecodeFromBytes parses an 8-byte UDP header.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTooShort
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen {
+		return ErrBadLength
+	}
+	return nil
+}
+
+// SerializeTo writes the header (checksum 0 = unset, as DPDK tx paths do
+// when offloading).
+func (u *UDP) SerializeTo(b []byte) error {
+	if len(b) < UDPHeaderLen {
+		return ErrTooShort
+	}
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	return nil
+}
+
+// TCP is the decoded L4 header (the subset the flow tools need).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOff          uint8
+	Flags            uint8
+	Window           uint16
+}
+
+// DecodeFromBytes parses a TCP header.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTooShort
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOff = data[12] >> 4
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	if int(t.DataOff)*4 < TCPHeaderLen {
+		return ErrBadLength
+	}
+	return nil
+}
+
+// SerializeTo writes a 20-byte TCP header.
+func (t *TCP) SerializeTo(b []byte) error {
+	if len(b) < TCPHeaderLen {
+		return ErrTooShort
+	}
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = TCPHeaderLen / 4 << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], 0)
+	binary.BigEndian.PutUint16(b[18:20], 0)
+	return nil
+}
+
+// FlowKey is the 5-tuple identity of a flow; the zero ports mark non-TCP/UDP
+// traffic. It is comparable and therefore usable as a map key.
+type FlowKey struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders "src:port > dst:port/proto".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%v:%d > %v:%d/%d", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// Reverse returns the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Parsed is the result of a one-pass decode of an Ethernet/IPv4/L4 frame.
+type Parsed struct {
+	Eth     Ethernet
+	IP      IPv4
+	UDP     UDP
+	TCP     TCP
+	HasL4   bool
+	Key     FlowKey
+	Payload []byte // aliases the input frame
+}
+
+// Parse decodes frame in place (gopacket DecodingLayerParser style: every
+// layer lands in p without allocation). It tolerates unknown L4 protocols,
+// which simply yield a port-less flow key.
+func (p *Parsed) Parse(frame []byte) error {
+	if err := p.Eth.DecodeFromBytes(frame); err != nil {
+		return err
+	}
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return ErrBadVersion
+	}
+	l3 := frame[EthHeaderLen:]
+	if err := p.IP.DecodeFromBytes(l3); err != nil {
+		return err
+	}
+	if int(p.IP.TotalLen) > len(l3) {
+		return ErrBadLength
+	}
+	p.Key = FlowKey{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Protocol}
+	p.HasL4 = false
+	l4 := l3[IPv4HeaderLen:p.IP.TotalLen]
+	switch p.IP.Protocol {
+	case ProtoUDP:
+		if err := p.UDP.DecodeFromBytes(l4); err != nil {
+			return err
+		}
+		p.Key.SrcPort, p.Key.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+		p.HasL4 = true
+		p.Payload = l4[UDPHeaderLen:]
+	case ProtoTCP:
+		if err := p.TCP.DecodeFromBytes(l4); err != nil {
+			return err
+		}
+		p.Key.SrcPort, p.Key.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+		p.HasL4 = true
+		p.Payload = l4[int(p.TCP.DataOff)*4:]
+	default:
+		p.Payload = l4
+	}
+	return nil
+}
+
+// BuildUDP assembles a complete Ethernet/IPv4/UDP frame of exactly size
+// bytes (>= 60) into buf and returns the frame slice. The payload is
+// zero-filled. It is the factory used by the traffic generators and tests.
+func BuildUDP(buf []byte, size int, src, dst Addr, sport, dport uint16) ([]byte, error) {
+	if size < MinFrame {
+		size = MinFrame
+	}
+	if len(buf) < size {
+		return nil, ErrTooShort
+	}
+	frame := buf[:size]
+	for i := range frame {
+		frame[i] = 0
+	}
+	eth := Ethernet{
+		Dst:       MAC{0x02, 0, 0, 0, 0, 2},
+		Src:       MAC{0x02, 0, 0, 0, 0, 1},
+		EtherType: EtherTypeIPv4,
+	}
+	if err := eth.SerializeTo(frame); err != nil {
+		return nil, err
+	}
+	ip := IPv4{
+		TotalLen: uint16(size - EthHeaderLen),
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	if err := ip.SerializeTo(frame[EthHeaderLen:]); err != nil {
+		return nil, err
+	}
+	udp := UDP{
+		SrcPort: sport,
+		DstPort: dport,
+		Length:  uint16(size - EthHeaderLen - IPv4HeaderLen),
+	}
+	if err := udp.SerializeTo(frame[EthHeaderLen+IPv4HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,273 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metronome/internal/xrand"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	in := Ethernet{
+		Dst:       MAC{1, 2, 3, 4, 5, 6},
+		Src:       MAC{7, 8, 9, 10, 11, 12},
+		EtherType: EtherTypeIPv4,
+	}
+	var buf [EthHeaderLen]byte
+	if err := in.SerializeTo(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var out Ethernet
+	if err := out.DecodeFromBytes(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestEthernetShort(t *testing.T) {
+	var e Ethernet
+	if err := e.DecodeFromBytes(make([]byte, 13)); err != ErrTooShort {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+	if err := e.SerializeTo(make([]byte, 5)); err != ErrTooShort {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Fatalf("MAC string = %q", m.String())
+	}
+}
+
+func TestAddr(t *testing.T) {
+	a := AddrFrom4(10, 1, 2, 3)
+	if a.String() != "10.1.2.3" {
+		t.Fatalf("addr = %q", a.String())
+	}
+	if uint32(a) != 0x0a010203 {
+		t.Fatalf("addr value = %08x", uint32(a))
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		in := IPv4{
+			TOS:      uint8(r.Intn(256)),
+			TotalLen: uint16(IPv4HeaderLen + r.Intn(1480)),
+			ID:       uint16(r.Intn(1 << 16)),
+			Flags:    uint8(r.Intn(8)),
+			FragOff:  uint16(r.Intn(1 << 13)),
+			TTL:      uint8(r.Intn(256)),
+			Protocol: uint8(r.Intn(256)),
+			Src:      Addr(r.Uint64()),
+			Dst:      Addr(r.Uint64()),
+		}
+		var buf [IPv4HeaderLen]byte
+		if in.SerializeTo(buf[:]) != nil {
+			return false
+		}
+		var out IPv4
+		if out.DecodeFromBytes(buf[:]) != nil {
+			return false
+		}
+		return out == in && VerifyChecksum(buf[:])
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4RejectsV6(t *testing.T) {
+	var buf [IPv4HeaderLen]byte
+	buf[0] = 6 << 4
+	var ip IPv4
+	if err := ip.DecodeFromBytes(buf[:]); err != ErrBadVersion {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIPv4RejectsOptions(t *testing.T) {
+	var buf [24]byte
+	buf[0] = 4<<4 | 6 // ihl = 6 words
+	var ip IPv4
+	if err := ip.DecodeFromBytes(buf[:]); err == nil {
+		t.Fatal("options accepted")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic example from RFC 1071 discussions: header with checksum field
+	// zeroed sums to the documented complement.
+	h := []byte{
+		0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+		0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+		0xc0, 0xa8, 0x00, 0xc7,
+	}
+	if got := Checksum(h); got != 0xb861 {
+		t.Fatalf("checksum = %04x, want b861", got)
+	}
+	h[10], h[11] = 0xb8, 0x61
+	if !VerifyChecksum(h) {
+		t.Fatal("checksum verification failed on valid header")
+	}
+	h[8] ^= 0xff
+	if VerifyChecksum(h) {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length data pads with a zero byte on the right.
+	if Checksum([]byte{0x01}) != ^uint16(0x0100) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	in := UDP{SrcPort: 1234, DstPort: 5678, Length: 100, Checksum: 0}
+	var buf [UDPHeaderLen]byte
+	if err := in.SerializeTo(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var out UDP
+	if err := out.DecodeFromBytes(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("%+v != %+v", out, in)
+	}
+}
+
+func TestUDPBadLength(t *testing.T) {
+	var buf [UDPHeaderLen]byte
+	buf[5] = 4 // length 4 < 8
+	var u UDP
+	if err := u.DecodeFromBytes(buf[:]); err != ErrBadLength {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	in := TCP{SrcPort: 80, DstPort: 45000, Seq: 1 << 30, Ack: 77, DataOff: 5, Flags: 0x18, Window: 65535}
+	var buf [TCPHeaderLen]byte
+	if err := in.SerializeTo(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var out TCP
+	if err := out.DecodeFromBytes(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("%+v != %+v", out, in)
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	k := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoUDP}
+	rev := k.Reverse()
+	if rev.Src != 2 || rev.Dst != 1 || rev.SrcPort != 20 || rev.DstPort != 10 {
+		t.Fatalf("reverse = %+v", rev)
+	}
+	if rev.Reverse() != k {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestBuildAndParseUDP(t *testing.T) {
+	buf := make([]byte, 1500)
+	frame, err := BuildUDP(buf, 64, AddrFrom4(10, 0, 0, 1), AddrFrom4(10, 0, 0, 2), 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 64 {
+		t.Fatalf("frame len = %d", len(frame))
+	}
+	var p Parsed
+	if err := p.Parse(frame); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasL4 || p.Key.Proto != ProtoUDP {
+		t.Fatalf("parsed key = %+v", p.Key)
+	}
+	if p.Key.Src != AddrFrom4(10, 0, 0, 1) || p.Key.DstPort != 2000 {
+		t.Fatalf("key = %v", p.Key)
+	}
+	if !VerifyChecksum(frame[EthHeaderLen:]) {
+		t.Fatal("built frame has bad IP checksum")
+	}
+}
+
+func TestBuildUDPMinimumSize(t *testing.T) {
+	buf := make([]byte, 128)
+	frame, err := BuildUDP(buf, 10, 1, 2, 3, 4) // below minimum: padded up
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != MinFrame {
+		t.Fatalf("frame len = %d, want %d", len(frame), MinFrame)
+	}
+}
+
+func TestBuildUDPBufferTooSmall(t *testing.T) {
+	if _, err := BuildUDP(make([]byte, 32), 64, 1, 2, 3, 4); err != ErrTooShort {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsTruncatedL3(t *testing.T) {
+	buf := make([]byte, 128)
+	frame, _ := BuildUDP(buf, 64, 1, 2, 3, 4)
+	var p Parsed
+	if err := p.Parse(frame[:20]); err == nil {
+		t.Fatal("truncated frame parsed")
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		buf := make([]byte, 1600)
+		size := 60 + r.Intn(1440)
+		src := Addr(r.Uint64())
+		dst := Addr(r.Uint64())
+		sp := uint16(r.Intn(1 << 16))
+		dp := uint16(r.Intn(1 << 16))
+		frame, err := BuildUDP(buf, size, src, dst, sp, dp)
+		if err != nil {
+			return false
+		}
+		var p Parsed
+		if p.Parse(frame) != nil {
+			return false
+		}
+		return p.Key == FlowKey{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: ProtoUDP}
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	buf := make([]byte, 128)
+	frame, _ := BuildUDP(buf, 64, 1, 2, 3, 4)
+	var p Parsed
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildUDP(b *testing.B) {
+	buf := make([]byte, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUDP(buf, 64, 1, 2, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

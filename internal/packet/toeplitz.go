@@ -1,0 +1,91 @@
+package packet
+
+import "encoding/binary"
+
+// DefaultRSSKey is the 40-byte Microsoft/Intel reference Toeplitz key that
+// DPDK and most NIC drivers ship as their default (the value ixgbe and i40e
+// program unless overridden). Using it means our RSS spreading matches what
+// the paper's X520/XL710 NICs actually computed.
+var DefaultRSSKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the RSS hash over an input tuple using a 40-byte key,
+// per the Microsoft RSS specification: for every set bit i of the input
+// (MSB first), XOR into the result the 32-bit window of the key that starts
+// at bit offset i.
+type Toeplitz struct {
+	key [40]byte
+}
+
+// NewToeplitz returns a hasher for key.
+func NewToeplitz(key [40]byte) *Toeplitz { return &Toeplitz{key: key} }
+
+// Hash computes the raw Toeplitz hash of input. With a 40-byte key the
+// meaningful input length is at most 36 bytes; RSS IPv4 tuples are 8 or 12.
+func (t *Toeplitz) Hash(input []byte) uint32 {
+	var result uint32
+	for i, b := range input {
+		for bit := 0; bit < 8; bit++ {
+			if b&(0x80>>uint(bit)) != 0 {
+				result ^= t.window(i*8 + bit)
+			}
+		}
+	}
+	return result
+}
+
+// window returns the 32 bits of the key starting at bit offset off,
+// zero-padded past the end of the key.
+func (t *Toeplitz) window(off int) uint32 {
+	byteOff := off / 8
+	shift := off % 8
+	var v uint64 // 40 bits of key material covering the window
+	for k := 0; k < 5; k++ {
+		v <<= 8
+		if byteOff+k < len(t.key) {
+			v |= uint64(t.key[byteOff+k])
+		}
+	}
+	return uint32(v >> (8 - uint(shift)))
+}
+
+// HashFlow computes the standard RSS IPv4 4-tuple hash over
+// (src addr, dst addr, src port, dst port), all big-endian — the hash the
+// X520/XL710 use to pick an Rx queue for TCP/UDP traffic.
+func (t *Toeplitz) HashFlow(k FlowKey) uint32 {
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(k.Src))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(k.Dst))
+	binary.BigEndian.PutUint16(buf[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], k.DstPort)
+	return t.Hash(buf[:])
+}
+
+// HashAddrs computes the 2-tuple (addresses only) variant used for
+// non-TCP/UDP IPv4 traffic.
+func (t *Toeplitz) HashAddrs(k FlowKey) uint32 {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(k.Src))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(k.Dst))
+	return t.Hash(buf[:])
+}
+
+// QueueFor maps a flow to one of n queues through the low bits of the RSS
+// hash, mirroring the indirection-table default of an even spread.
+func (t *Toeplitz) QueueFor(k FlowKey, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var h uint32
+	if k.Proto == ProtoTCP || k.Proto == ProtoUDP {
+		h = t.HashFlow(k)
+	} else {
+		h = t.HashAddrs(k)
+	}
+	return int(h % uint32(n))
+}

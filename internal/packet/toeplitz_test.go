@@ -1,0 +1,119 @@
+package packet
+
+import (
+	"math"
+	"testing"
+
+	"metronome/internal/xrand"
+)
+
+// The Microsoft RSS specification publishes verification vectors for the
+// default key; DPDK's own thash tests use the same set. Tuple order is
+// (src addr, dst addr, src port, dst port).
+var rssVectors = []struct {
+	srcIP      Addr
+	dstIP      Addr
+	srcPort    uint16
+	dstPort    uint16
+	want4Tuple uint32
+	want2Tuple uint32
+}{
+	{AddrFrom4(66, 9, 149, 187), AddrFrom4(161, 142, 100, 80), 2794, 1766, 0x51ccc178, 0x323e8fc2},
+	{AddrFrom4(199, 92, 111, 2), AddrFrom4(65, 69, 140, 83), 14230, 4739, 0xc626b0ea, 0xd718262a},
+	{AddrFrom4(24, 19, 198, 95), AddrFrom4(12, 22, 207, 184), 12898, 38024, 0x5c2b394a, 0xd2d0a5de},
+	{AddrFrom4(38, 27, 205, 30), AddrFrom4(209, 142, 163, 6), 48228, 2217, 0xafc7327f, 0x82989176},
+	{AddrFrom4(153, 39, 163, 191), AddrFrom4(202, 188, 127, 2), 44251, 1303, 0x10e828a2, 0x5d1809c5},
+}
+
+func TestToeplitzSpecVectors(t *testing.T) {
+	h := NewToeplitz(DefaultRSSKey)
+	for i, v := range rssVectors {
+		k := FlowKey{Src: v.srcIP, Dst: v.dstIP, SrcPort: v.srcPort, DstPort: v.dstPort, Proto: ProtoTCP}
+		if got := h.HashFlow(k); got != v.want4Tuple {
+			t.Errorf("vector %d 4-tuple: got %08x, want %08x", i, got, v.want4Tuple)
+		}
+		if got := h.HashAddrs(k); got != v.want2Tuple {
+			t.Errorf("vector %d 2-tuple: got %08x, want %08x", i, got, v.want2Tuple)
+		}
+	}
+}
+
+func TestToeplitzZeroInput(t *testing.T) {
+	h := NewToeplitz(DefaultRSSKey)
+	if got := h.Hash(make([]byte, 12)); got != 0 {
+		t.Fatalf("all-zero input hashed to %08x, want 0", got)
+	}
+}
+
+func TestToeplitzLinearity(t *testing.T) {
+	// Toeplitz over GF(2) is linear: H(a xor b) == H(a) xor H(b).
+	h := NewToeplitz(DefaultRSSKey)
+	r := xrand.New(9)
+	for trial := 0; trial < 50; trial++ {
+		a := make([]byte, 12)
+		b := make([]byte, 12)
+		x := make([]byte, 12)
+		for i := range a {
+			a[i] = byte(r.Intn(256))
+			b[i] = byte(r.Intn(256))
+			x[i] = a[i] ^ b[i]
+		}
+		if h.Hash(x) != h.Hash(a)^h.Hash(b) {
+			t.Fatalf("linearity violated on trial %d", trial)
+		}
+	}
+}
+
+func TestQueueForSpread(t *testing.T) {
+	// Random flows must spread roughly evenly over queues — RSS would be
+	// useless otherwise, and the multiqueue experiments depend on it.
+	h := NewToeplitz(DefaultRSSKey)
+	r := xrand.New(4)
+	const queues = 4
+	const flows = 40000
+	var counts [queues]int
+	for i := 0; i < flows; i++ {
+		k := FlowKey{
+			Src:     Addr(r.Uint64()),
+			Dst:     Addr(r.Uint64()),
+			SrcPort: uint16(r.Intn(1 << 16)),
+			DstPort: uint16(r.Intn(1 << 16)),
+			Proto:   ProtoUDP,
+		}
+		counts[h.QueueFor(k, queues)]++
+	}
+	want := float64(flows) / queues
+	for q, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("queue %d: %d flows, want ~%.0f", q, c, want)
+		}
+	}
+}
+
+func TestQueueForSingleQueue(t *testing.T) {
+	h := NewToeplitz(DefaultRSSKey)
+	if h.QueueFor(FlowKey{Src: 1, Dst: 2}, 1) != 0 {
+		t.Fatal("single queue must always map to 0")
+	}
+}
+
+func TestQueueForStable(t *testing.T) {
+	// A flow always lands on the same queue: per-flow ordering depends on it.
+	h := NewToeplitz(DefaultRSSKey)
+	k := FlowKey{Src: AddrFrom4(10, 0, 0, 1), Dst: AddrFrom4(10, 0, 0, 2), SrcPort: 7, DstPort: 8, Proto: ProtoUDP}
+	q := h.QueueFor(k, 3)
+	for i := 0; i < 100; i++ {
+		if h.QueueFor(k, 3) != q {
+			t.Fatal("queue mapping is unstable")
+		}
+	}
+}
+
+func BenchmarkToeplitzHashFlow(b *testing.B) {
+	h := NewToeplitz(DefaultRSSKey)
+	k := FlowKey{Src: AddrFrom4(66, 9, 149, 187), Dst: AddrFrom4(161, 142, 100, 80), SrcPort: 2794, DstPort: 1766}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.HashFlow(k)
+	}
+}

@@ -1,0 +1,148 @@
+// Package power models the CPU-frequency governors and package power that
+// the paper measures through Intel RAPL (Sec. V-C and V-F): the
+// `performance` governor pins cores at their maximum frequency, while
+// `ondemand` periodically samples utilisation and scales frequency, trading
+// reactivity for energy. Service rates scale with frequency, which is what
+// couples the governor to Metronome's queue occupancy in Fig 13/14.
+//
+// Constants are calibrated to a single-socket Xeon Silver-class NUMA node
+// (2.1 GHz nominal); EXPERIMENTS.md records the calibration.
+package power
+
+import "math"
+
+// Governor selects the frequency policy.
+type Governor int
+
+const (
+	// Performance keeps every core at FMax while executing.
+	Performance Governor = iota
+	// Ondemand scales frequency with recent utilisation: full speed above
+	// UpThreshold, proportional below.
+	Ondemand
+)
+
+// String names the governor as Linux does.
+func (g Governor) String() string {
+	if g == Ondemand {
+		return "ondemand"
+	}
+	return "performance"
+}
+
+// Config describes one package (NUMA node) worth of cores.
+type Config struct {
+	FMax, FMin float64 // GHz
+	// UpThreshold is ondemand's utilisation trigger for jumping to FMax.
+	UpThreshold float64
+	// Uncore is the always-on package power (memory controller, LLC, IO), W.
+	Uncore float64
+	// ActiveMax is the power of one core running flat out at FMax, W.
+	ActiveMax float64
+	// IdleCore is the power of one core parked in a shallow C-state, W.
+	IdleCore float64
+	// Alpha is the frequency->power exponent for the active component
+	// (P ~ f^Alpha; ~2.5 captures DVFS voltage scaling).
+	Alpha float64
+	// TotalCores is the number of cores on the node (idle ones still burn
+	// IdleCore watts each).
+	TotalCores int
+}
+
+// DefaultConfig returns the calibration used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		FMax:        2.1,
+		FMin:        0.8,
+		UpThreshold: 0.80,
+		Uncore:      8.0,
+		ActiveMax:   6.5,
+		IdleCore:    0.9,
+		Alpha:       2.5,
+		TotalCores:  8,
+	}
+}
+
+// SteadyFreq returns the steady-state frequency the governor settles at for
+// a thread set whose utilisation at FMax is utilAtFMax (0..1 per core).
+//
+// For ondemand the fixed point accounts for work expanding as frequency
+// drops: busy time scales as FMax/f, so the governor sees util(f) =
+// utilAtFMax * FMax / f and raises f until util(f) <= UpThreshold (or FMax
+// is reached). Continuously-polling threads therefore always sit at FMax,
+// while Metronome's duty-cycled threads settle lower — the mechanism behind
+// the paper's ondemand savings.
+func (c Config) SteadyFreq(g Governor, utilAtFMax float64) float64 {
+	if g == Performance {
+		return c.FMax
+	}
+	if utilAtFMax <= 0 {
+		return c.FMin
+	}
+	if utilAtFMax >= c.UpThreshold {
+		return c.FMax
+	}
+	f := utilAtFMax * c.FMax / c.UpThreshold
+	return math.Min(c.FMax, math.Max(c.FMin, f))
+}
+
+// UtilAt converts a utilisation measured at FMax into the utilisation at
+// frequency f (clamped to 1: the core saturates).
+func (c Config) UtilAt(utilAtFMax, f float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	u := utilAtFMax * c.FMax / f
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// CoreState is the operating point of one core over a measurement window.
+type CoreState struct {
+	Freq float64 // GHz
+	Util float64 // 0..1 busy fraction at Freq
+}
+
+// CorePower returns the average power of one core at the given state.
+func (c Config) CorePower(s CoreState) float64 {
+	if s.Util < 0 {
+		s.Util = 0
+	}
+	if s.Util > 1 {
+		s.Util = 1
+	}
+	fNorm := s.Freq / c.FMax
+	if fNorm < 0 {
+		fNorm = 0
+	}
+	// The active component rides on top of the idle floor so the model
+	// stays monotone in utilisation at every frequency.
+	active := (c.ActiveMax - c.IdleCore) * math.Pow(fNorm, c.Alpha)
+	return c.IdleCore + s.Util*active
+}
+
+// PackagePower returns the RAPL-style package power for the given active
+// core states; cores beyond len(states) up to TotalCores idle.
+func (c Config) PackagePower(states []CoreState) float64 {
+	p := c.Uncore
+	for _, s := range states {
+		p += c.CorePower(s)
+	}
+	for i := len(states); i < c.TotalCores; i++ {
+		p += c.IdleCore
+	}
+	return p
+}
+
+// SteadyState resolves the governor fixed point for a set of per-core
+// utilisations measured at FMax and returns the resulting core states.
+func (c Config) SteadyState(g Governor, utilAtFMax []float64) []CoreState {
+	out := make([]CoreState, len(utilAtFMax))
+	for i, u := range utilAtFMax {
+		f := c.SteadyFreq(g, u)
+		out[i] = CoreState{Freq: f, Util: c.UtilAt(u, f)}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"metronome/internal/xrand"
+)
+
+func cfg() Config { return DefaultConfig() }
+
+func TestGovernorString(t *testing.T) {
+	if Performance.String() != "performance" || Ondemand.String() != "ondemand" {
+		t.Error("governor names")
+	}
+}
+
+func TestPerformanceAlwaysFMax(t *testing.T) {
+	c := cfg()
+	for _, u := range []float64{0, 0.2, 0.8, 1} {
+		if got := c.SteadyFreq(Performance, u); got != c.FMax {
+			t.Errorf("performance freq at util %v = %v", u, got)
+		}
+	}
+}
+
+func TestOndemandFixedPoint(t *testing.T) {
+	c := cfg()
+	// Fully busy (a static poller): pegged at FMax.
+	if got := c.SteadyFreq(Ondemand, 1); got != c.FMax {
+		t.Errorf("busy core freq = %v", got)
+	}
+	// Above threshold: FMax.
+	if got := c.SteadyFreq(Ondemand, 0.85); got != c.FMax {
+		t.Errorf("0.85 util freq = %v", got)
+	}
+	// Idle: FMin.
+	if got := c.SteadyFreq(Ondemand, 0); got != c.FMin {
+		t.Errorf("idle freq = %v", got)
+	}
+	// Moderate duty cycle settles below FMax but above FMin.
+	f := c.SteadyFreq(Ondemand, 0.4)
+	if f <= c.FMin || f >= c.FMax {
+		t.Errorf("0.4 util freq = %v", f)
+	}
+	// At the fixed point, utilisation is pushed to the threshold.
+	u := c.UtilAt(0.4, f)
+	if math.Abs(u-c.UpThreshold) > 1e-9 {
+		t.Errorf("steady util = %v, want %v", u, c.UpThreshold)
+	}
+}
+
+func TestSteadyFreqMonotone(t *testing.T) {
+	c := cfg()
+	prev := 0.0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		f := c.SteadyFreq(Ondemand, u)
+		if f < prev-1e-12 {
+			t.Fatalf("freq not monotone at util %v", u)
+		}
+		prev = f
+	}
+}
+
+func TestUtilAtClamps(t *testing.T) {
+	c := cfg()
+	if c.UtilAt(0.9, c.FMin) != 1 {
+		t.Error("util must saturate at 1")
+	}
+	if c.UtilAt(0.5, 0) != 1 {
+		t.Error("degenerate frequency should saturate")
+	}
+}
+
+func TestCorePowerBounds(t *testing.T) {
+	c := cfg()
+	idle := c.CorePower(CoreState{Freq: c.FMax, Util: 0})
+	full := c.CorePower(CoreState{Freq: c.FMax, Util: 1})
+	if idle != c.IdleCore {
+		t.Errorf("idle power = %v", idle)
+	}
+	if full != c.ActiveMax {
+		t.Errorf("full power = %v", full)
+	}
+	// Lower frequency, same utilisation => less power.
+	lower := c.CorePower(CoreState{Freq: 1.2, Util: 1})
+	if lower >= full {
+		t.Errorf("1.2GHz power %v >= 2.1GHz power %v", lower, full)
+	}
+}
+
+func TestCorePowerMonotoneInUtil(t *testing.T) {
+	c := cfg()
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		f := r.Uniform(c.FMin, c.FMax)
+		u1, u2 := r.Float64(), r.Float64()
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return c.CorePower(CoreState{f, u1}) <= c.CorePower(CoreState{f, u2})+1e-12
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackagePowerEnvelope(t *testing.T) {
+	c := cfg()
+	// All idle: the baseline the 0-traffic experiments bottom out at.
+	idle := c.PackagePower(nil)
+	want := c.Uncore + float64(c.TotalCores)*c.IdleCore
+	if math.Abs(idle-want) > 1e-9 {
+		t.Errorf("idle package = %v, want %v", idle, want)
+	}
+	// One poller at 100% (static DPDK single queue): idle + one active.
+	poller := c.PackagePower([]CoreState{{c.FMax, 1}})
+	if poller <= idle || poller > idle+c.ActiveMax {
+		t.Errorf("poller package = %v (idle %v)", poller, idle)
+	}
+	// Sanity envelope for the figures: a realistic node sits in 10..45 W.
+	if idle < 10 || poller > 45 {
+		t.Errorf("calibration out of envelope: idle=%v poller=%v", idle, poller)
+	}
+}
+
+func TestMetronomeVsStaticPowerShape(t *testing.T) {
+	// The headline Fig 11 shape: three duty-cycled Metronome threads burn
+	// less power than one static poller plus two idle cores... at the same
+	// offered load under ondemand; and under performance the gap narrows.
+	c := cfg()
+	static := c.PackagePower(c.SteadyState(Performance, []float64{1, 0, 0}))
+	met := c.PackagePower(c.SteadyState(Performance, []float64{0.2, 0.2, 0.2}))
+	if met >= static {
+		t.Errorf("performance: metronome %vW >= static %vW", met, static)
+	}
+	staticOD := c.PackagePower(c.SteadyState(Ondemand, []float64{1, 0, 0}))
+	metOD := c.PackagePower(c.SteadyState(Ondemand, []float64{0.2, 0.2, 0.2}))
+	if metOD >= staticOD {
+		t.Errorf("ondemand: metronome %vW >= static %vW", metOD, staticOD)
+	}
+	// ondemand saves vs performance for the duty-cycled configuration.
+	if metOD >= met {
+		t.Errorf("ondemand %vW >= performance %vW for metronome", metOD, met)
+	}
+}
+
+func TestSteadyStateVector(t *testing.T) {
+	c := cfg()
+	st := c.SteadyState(Ondemand, []float64{1, 0.3, 0})
+	if len(st) != 3 {
+		t.Fatal("state length")
+	}
+	if st[0].Freq != c.FMax || st[0].Util != 1 {
+		t.Errorf("busy core state = %+v", st[0])
+	}
+	if st[2].Freq != c.FMin {
+		t.Errorf("idle core freq = %v", st[2].Freq)
+	}
+}

@@ -1,0 +1,196 @@
+// Package ring provides bounded lock-free rings in the mould of DPDK's
+// rte_ring: a multi-producer/multi-consumer queue (Vyukov bounded MPMC)
+// and a faster single-producer/single-consumer variant. The real-time
+// Metronome runtime uses them as Rx queues between traffic sources and the
+// retrieval threads.
+package ring
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBadCapacity reports a capacity that is not a power of two >= 2.
+var ErrBadCapacity = errors.New("ring: capacity must be a power of two >= 2")
+
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPMC is a bounded multi-producer/multi-consumer ring. All methods are
+// safe for concurrent use and never block: full/empty conditions return
+// false, exactly like rte_ring's enqueue/dequeue burst calls.
+type MPMC[T any] struct {
+	mask    uint64
+	slots   []slot[T]
+	_       [56]byte // keep head and tail on separate cache lines
+	enqueue atomic.Uint64
+	_       [56]byte
+	dequeue atomic.Uint64
+}
+
+// NewMPMC returns a ring holding up to capacity items.
+func NewMPMC[T any](capacity int) (*MPMC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrBadCapacity
+	}
+	r := &MPMC[T]{
+		mask:  uint64(capacity - 1),
+		slots: make([]slot[T], capacity),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r, nil
+}
+
+// Cap returns the ring capacity.
+func (r *MPMC[T]) Cap() int { return len(r.slots) }
+
+// Len returns an instantaneous (racy) element count, useful for occupancy
+// metrics only.
+func (r *MPMC[T]) Len() int {
+	d := r.enqueue.Load() - r.dequeue.Load()
+	if d > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(d)
+}
+
+// Enqueue adds v; it reports false when the ring is full.
+func (r *MPMC[T]) Enqueue(v T) bool {
+	pos := r.enqueue.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enqueue.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enqueue.Load()
+		case seq < pos:
+			return false // slot not yet consumed: full
+		default:
+			pos = r.enqueue.Load()
+		}
+	}
+}
+
+// Dequeue removes the oldest element; ok is false when the ring is empty.
+func (r *MPMC[T]) Dequeue() (v T, ok bool) {
+	pos := r.dequeue.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.dequeue.CompareAndSwap(pos, pos+1) {
+				v = s.val
+				var zero T
+				s.val = zero
+				s.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.dequeue.Load()
+		case seq <= pos:
+			return v, false // slot not yet produced: empty
+		default:
+			pos = r.dequeue.Load()
+		}
+	}
+}
+
+// DequeueBurst moves up to len(out) elements into out and returns the
+// count, mirroring rte_eth_rx_burst semantics.
+func (r *MPMC[T]) DequeueBurst(out []T) int {
+	n := 0
+	for n < len(out) {
+		v, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// EnqueueBurst adds as many elements of in as fit and returns the count.
+func (r *MPMC[T]) EnqueueBurst(in []T) int {
+	n := 0
+	for n < len(in) {
+		if !r.Enqueue(in[n]) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// SPSC is a single-producer/single-consumer ring: no CAS, just two indexes
+// with release/acquire ordering. Exactly one goroutine may call Enqueue*
+// and exactly one may call Dequeue*.
+type SPSC[T any] struct {
+	mask uint64
+	buf  []T
+	_    [56]byte
+	head atomic.Uint64 // next write
+	_    [56]byte
+	tail atomic.Uint64 // next read
+}
+
+// NewSPSC returns a single-producer/single-consumer ring.
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrBadCapacity
+	}
+	return &SPSC[T]{mask: uint64(capacity - 1), buf: make([]T, capacity)}, nil
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the instantaneous element count.
+func (r *SPSC[T]) Len() int { return int(r.head.Load() - r.tail.Load()) }
+
+// Enqueue adds v; it reports false when full.
+func (r *SPSC[T]) Enqueue(v T) bool {
+	head := r.head.Load()
+	if head-r.tail.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[head&r.mask] = v
+	r.head.Store(head + 1)
+	return true
+}
+
+// Dequeue removes the oldest element; ok is false when empty.
+func (r *SPSC[T]) Dequeue() (v T, ok bool) {
+	tail := r.tail.Load()
+	if tail == r.head.Load() {
+		return v, false
+	}
+	v = r.buf[tail&r.mask]
+	var zero T
+	r.buf[tail&r.mask] = zero
+	r.tail.Store(tail + 1)
+	return v, true
+}
+
+// DequeueBurst moves up to len(out) elements into out.
+func (r *SPSC[T]) DequeueBurst(out []T) int {
+	n := 0
+	for n < len(out) {
+		v, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}

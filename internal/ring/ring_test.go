@@ -1,0 +1,254 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBadCapacity(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 100} {
+		if _, err := NewMPMC[int](c); err != ErrBadCapacity {
+			t.Errorf("NewMPMC(%d) err = %v", c, err)
+		}
+		if _, err := NewSPSC[int](c); err != ErrBadCapacity {
+			t.Errorf("NewSPSC(%d) err = %v", c, err)
+		}
+	}
+}
+
+func TestMPMCFIFO(t *testing.T) {
+	r, _ := NewMPMC[int](8)
+	for i := 0; i < 5; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+}
+
+func TestMPMCFull(t *testing.T) {
+	r, _ := NewMPMC[int](4)
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("enqueue %d failed below capacity", i)
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("enqueue into full ring succeeded")
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", r.Len(), r.Cap())
+	}
+	// after one dequeue there is room again
+	r.Dequeue()
+	if !r.Enqueue(99) {
+		t.Fatal("enqueue after dequeue failed")
+	}
+}
+
+func TestMPMCWrapAround(t *testing.T) {
+	r, _ := NewMPMC[int](4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Enqueue(round*10 + i) {
+				t.Fatal("enqueue failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Dequeue()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: got %d", round, v)
+			}
+		}
+	}
+}
+
+func TestMPMCBurst(t *testing.T) {
+	r, _ := NewMPMC[int](8)
+	in := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if n := r.EnqueueBurst(in); n != 8 {
+		t.Fatalf("enqueued %d, want 8 (capacity)", n)
+	}
+	out := make([]int, 5)
+	if n := r.DequeueBurst(out); n != 5 {
+		t.Fatalf("dequeued %d, want 5", n)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if n := r.DequeueBurst(make([]int, 16)); n != 3 {
+		t.Fatalf("drain got %d, want 3", n)
+	}
+}
+
+func TestMPMCConcurrent(t *testing.T) {
+	// N producers, M consumers; every produced value must be consumed
+	// exactly once. Run with -race to exercise the memory ordering.
+	r, _ := NewMPMC[int](64)
+	const producers, perProducer, consumers = 4, 10000, 4
+	var wg sync.WaitGroup
+	seen := make([]int32, producers*perProducer)
+	var mu sync.Mutex
+	done := make(chan struct{})
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !r.Enqueue(v) {
+				}
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := r.Dequeue()
+				if !ok {
+					select {
+					case <-done:
+						// final drain
+						for {
+							v, ok := r.Dequeue()
+							if !ok {
+								return
+							}
+							mu.Lock()
+							seen[v]++
+							mu.Unlock()
+						}
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}
+
+func TestSPSCFIFO(t *testing.T) {
+	r, _ := NewSPSC[string](4)
+	r.Enqueue("a")
+	r.Enqueue("b")
+	if v, _ := r.Dequeue(); v != "a" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := r.Dequeue(); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+}
+
+func TestSPSCFullAndWrap(t *testing.T) {
+	r, _ := NewSPSC[int](2)
+	if !r.Enqueue(1) || !r.Enqueue(2) {
+		t.Fatal("fill failed")
+	}
+	if r.Enqueue(3) {
+		t.Fatal("overfill succeeded")
+	}
+	for round := 0; round < 50; round++ {
+		v, ok := r.Dequeue()
+		if !ok || v != round+1 {
+			t.Fatalf("round %d: %d %v", round, v, ok)
+		}
+		if !r.Enqueue(round + 3) {
+			t.Fatal("refill failed")
+		}
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	r, _ := NewSPSC[int](128)
+	const n = 200000
+	go func() {
+		for i := 0; i < n; i++ {
+			for !r.Enqueue(i) {
+			}
+		}
+	}()
+	next := 0
+	for next < n {
+		v, ok := r.Dequeue()
+		if !ok {
+			continue
+		}
+		if v != next {
+			t.Fatalf("out of order: got %d want %d", v, next)
+		}
+		next++
+	}
+}
+
+func TestSPSCBurst(t *testing.T) {
+	r, _ := NewSPSC[int](8)
+	for i := 0; i < 6; i++ {
+		r.Enqueue(i)
+	}
+	out := make([]int, 4)
+	if n := r.DequeueBurst(out); n != 4 {
+		t.Fatalf("burst = %d", n)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func BenchmarkMPMCUncontended(b *testing.B) {
+	r, _ := NewMPMC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+		r.Dequeue()
+	}
+}
+
+func BenchmarkSPSCUncontended(b *testing.B) {
+	r, _ := NewSPSC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(i)
+		r.Dequeue()
+	}
+}
+
+func BenchmarkMPMCContended(b *testing.B) {
+	r, _ := NewMPMC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !r.Enqueue(1) {
+				r.Dequeue()
+			} else {
+				r.Dequeue()
+			}
+		}
+	})
+}

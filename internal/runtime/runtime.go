@@ -1,0 +1,257 @@
+// Package runtime is the real-time Metronome: the paper's sleep&wake
+// retrieval loop (Listing 2) running on actual goroutines with atomic
+// trylocks, for Go packet sources that would otherwise burn a core
+// busy-polling a ring. The discrete-event twin in internal/core reproduces
+// the paper's numbers; this package is the one you embed in an application.
+package runtime
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metronome/internal/hrtimer"
+	"metronome/internal/mbuf"
+	"metronome/internal/model"
+	"metronome/internal/ring"
+	"metronome/internal/xrand"
+)
+
+// RxQueue is any non-blocking burst packet source (a ring fed by AF_PACKET,
+// a userspace driver, a test generator...).
+type RxQueue interface {
+	// PollBurst moves up to len(out) packets into out and returns the
+	// count; zero means the queue is currently empty.
+	PollBurst(out []*mbuf.Mbuf) int
+}
+
+// RingQueue adapts an MPMC ring of mbufs to RxQueue.
+type RingQueue struct {
+	R *ring.MPMC[*mbuf.Mbuf]
+}
+
+// PollBurst implements RxQueue.
+func (q RingQueue) PollBurst(out []*mbuf.Mbuf) int { return q.R.DequeueBurst(out) }
+
+// Handler consumes one burst of packets. The handler owns the mbufs: it
+// must Free them (or hand them on) before returning control flow to the
+// pool's producer side.
+type Handler func(batch []*mbuf.Mbuf)
+
+// Config tunes the runner; zero fields take the paper's defaults.
+type Config struct {
+	// M is the number of retrieval goroutines (default 3).
+	M int
+	// VBar is the target vacation period (default 200us: Go timers are
+	// coarser than hr_sleep, so the sweet spot sits higher than DPDK's).
+	VBar time.Duration
+	// TL is the backup timeout (default 50*VBar).
+	TL time.Duration
+	// Alpha is the load-estimator EWMA (default 0.125).
+	Alpha float64
+	// Burst is the PollBurst size (default 32).
+	Burst int
+	// Adaptive enables the eq. (13)/(14) TS rule (default on unless
+	// TSFixed is set).
+	TSFixed time.Duration
+	// Sleeper is the sleep service (default hrtimer.GoSleeper).
+	Sleeper hrtimer.Sleeper
+	// Seed drives backup queue selection.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.M <= 0 {
+		c.M = 3
+	}
+	if c.VBar <= 0 {
+		c.VBar = 200 * time.Microsecond
+	}
+	if c.TL <= 0 {
+		c.TL = 50 * c.VBar
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.125
+	}
+	if c.Burst <= 0 {
+		c.Burst = 32
+	}
+	if c.Sleeper == nil {
+		c.Sleeper = hrtimer.GoSleeper{}
+	}
+}
+
+// Stats are cumulative runner counters, safe to read concurrently.
+type Stats struct {
+	Tries     atomic.Uint64
+	BusyTries atomic.Uint64
+	Cycles    atomic.Uint64
+	Packets   atomic.Uint64
+	Bursts    atomic.Uint64
+}
+
+type queueState struct {
+	lock        atomic.Bool
+	lastRelease atomic.Int64  // nanotime of last lock release
+	rhoBits     atomic.Uint64 // float64 bits of the EWMA load estimate
+	tsNanos     atomic.Int64  // current short timeout
+}
+
+// Runner drives M goroutines over N shared queues.
+type Runner struct {
+	cfg     Config
+	queues  []RxQueue
+	handler Handler
+	state   []queueState
+	Stats   Stats
+
+	start time.Time
+}
+
+// New builds a runner. It panics on an empty queue set or nil handler —
+// both are programming errors, not runtime conditions.
+func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
+	if len(queues) == 0 {
+		panic("runtime: no queues")
+	}
+	if handler == nil {
+		panic("runtime: nil handler")
+	}
+	cfg.defaults()
+	if cfg.M < len(queues) {
+		cfg.M = len(queues) // every queue deserves a primary (Sec. IV-E)
+	}
+	r := &Runner{
+		cfg:     cfg,
+		queues:  queues,
+		handler: handler,
+		state:   make([]queueState, len(queues)),
+	}
+	for i := range r.state {
+		r.state[i].tsNanos.Store(int64(r.tsFor(0))) // rho=0: TS = M/N * VBar
+	}
+	return r
+}
+
+// tsFor evaluates eq. (13)/(14) for a load estimate, in nanoseconds.
+func (r *Runner) tsFor(rho float64) time.Duration {
+	if r.cfg.TSFixed > 0 {
+		return r.cfg.TSFixed
+	}
+	ts := model.TSForTargetMultiqueue(r.cfg.VBar.Seconds(), rho, r.cfg.M, len(r.queues))
+	return time.Duration(ts * float64(time.Second))
+}
+
+// Rho returns queue q's current load estimate.
+func (r *Runner) Rho(q int) float64 {
+	return math.Float64frombits(r.state[q].rhoBits.Load())
+}
+
+// TS returns queue q's current short timeout.
+func (r *Runner) TS(q int) time.Duration {
+	return time.Duration(r.state[q].tsNanos.Load())
+}
+
+// Run blocks, serving queues until ctx is cancelled. It may be called once.
+func (r *Runner) Run(ctx context.Context) {
+	r.start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < r.cfg.M; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.threadLoop(ctx, id)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (r *Runner) nanotime() int64 { return int64(time.Since(r.start)) }
+
+// threadLoop is Listing 2 on a goroutine.
+func (r *Runner) threadLoop(ctx context.Context, id int) {
+	rng := xrand.New(r.cfg.Seed ^ uint64(id)*0x9e3779b97f4a7c15)
+	buf := make([]*mbuf.Mbuf, r.cfg.Burst)
+	q := id % len(r.queues)
+	for ctx.Err() == nil {
+		r.Stats.Tries.Add(1)
+		st := &r.state[q]
+		if !st.lock.CompareAndSwap(false, true) {
+			// Busy try: back off to a random queue for TL.
+			r.Stats.BusyTries.Add(1)
+			if len(r.queues) > 1 {
+				q = rng.Intn(len(r.queues))
+			}
+			r.cfg.Sleeper.Sleep(r.cfg.TL)
+			continue
+		}
+		began := r.nanotime()
+		vacation := time.Duration(began - st.lastRelease.Load())
+		for {
+			n := r.queues[q].PollBurst(buf)
+			if n == 0 {
+				break
+			}
+			r.handler(buf[:n])
+			r.Stats.Packets.Add(uint64(n))
+			r.Stats.Bursts.Add(1)
+		}
+		ended := r.nanotime()
+		busy := time.Duration(ended - began)
+
+		// Fold the cycle into the queue's load estimate (eq. 11) and
+		// re-evaluate TS (eq. 13/14). Only the lock holder writes these,
+		// so plain read-modify-write on the atomics is race-free.
+		rho := math.Float64frombits(st.rhoBits.Load())
+		sample := model.Rho(busy.Seconds(), vacation.Seconds())
+		rho = (1-r.cfg.Alpha)*rho + r.cfg.Alpha*sample
+		st.rhoBits.Store(math.Float64bits(rho))
+		ts := r.tsFor(rho)
+		st.tsNanos.Store(int64(ts))
+		st.lastRelease.Store(ended)
+		r.Stats.Cycles.Add(1)
+		st.lock.Store(false)
+
+		r.cfg.Sleeper.Sleep(ts)
+	}
+}
+
+// StaticPoller is the comparator: one busy-spinning goroutine per queue,
+// exactly the classic DPDK loop of Listing 1. It exists so applications
+// (and the examples) can measure what Metronome saves them.
+type StaticPoller struct {
+	Queues  []RxQueue
+	Handler Handler
+	Burst   int
+
+	Packets atomic.Uint64
+	Polls   atomic.Uint64
+}
+
+// Run blocks until ctx is cancelled, burning one goroutine per queue.
+func (s *StaticPoller) Run(ctx context.Context) {
+	burst := s.Burst
+	if burst <= 0 {
+		burst = 32
+	}
+	var wg sync.WaitGroup
+	for _, q := range s.Queues {
+		wg.Add(1)
+		go func(q RxQueue) {
+			defer wg.Done()
+			buf := make([]*mbuf.Mbuf, burst)
+			for ctx.Err() == nil {
+				s.Polls.Add(1)
+				n := q.PollBurst(buf)
+				if n == 0 {
+					continue
+				}
+				s.Handler(buf[:n])
+				s.Packets.Add(uint64(n))
+			}
+		}(q)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,281 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metronome/internal/mbuf"
+	"metronome/internal/ring"
+)
+
+// testBench wires a runner to rings fed by a producer goroutine.
+type testBench struct {
+	rings  []*ring.MPMC[*mbuf.Mbuf]
+	queues []RxQueue
+	pool   *mbuf.Pool
+}
+
+func newBench(t *testing.T, nQueues int) *testBench {
+	t.Helper()
+	b := &testBench{pool: mbuf.NewPool(4096)}
+	for i := 0; i < nQueues; i++ {
+		r, err := ring.NewMPMC[*mbuf.Mbuf](1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.rings = append(b.rings, r)
+		b.queues = append(b.queues, RingQueue{R: r})
+	}
+	return b
+}
+
+// produce pushes n packets round-robin as fast as the pool allows.
+func (b *testBench) produce(ctx context.Context, n int) int {
+	sent := 0
+	for sent < n && ctx.Err() == nil {
+		m, err := b.pool.Get()
+		if err != nil {
+			time.Sleep(50 * time.Microsecond) // consumers lag; let them
+			continue
+		}
+		m.SetFrame([]byte{byte(sent), byte(sent >> 8)})
+		if !b.rings[sent%len(b.rings)].Enqueue(m) {
+			m.Free()
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		sent++
+	}
+	return sent
+}
+
+func TestAllPacketsProcessedExactlyOnce(t *testing.T) {
+	bench := newBench(t, 1)
+	var processed atomic.Uint64
+	handler := func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			processed.Add(1)
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{M: 3, VBar: 200 * time.Microsecond, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	const n = 20000
+	sent := bench.produce(ctx, n)
+	// Wait for drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for processed.Load() < uint64(sent) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if processed.Load() != uint64(sent) {
+		t.Fatalf("processed %d of %d", processed.Load(), sent)
+	}
+	// Every mbuf came back to the pool: nothing double-freed or leaked.
+	if bench.pool.Available() != bench.pool.Size() {
+		t.Fatalf("pool leak: %d/%d", bench.pool.Available(), bench.pool.Size())
+	}
+	if r.Stats.Cycles.Load() == 0 || r.Stats.Tries.Load() == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestLockExclusivityPerQueue(t *testing.T) {
+	// At most one handler invocation in flight per queue, ever.
+	bench := newBench(t, 2)
+	var inFlight [2]atomic.Int32
+	var violations atomic.Int32
+	var processed atomic.Uint64
+	handler := func(batch []*mbuf.Mbuf) {
+		qi := int(batch[0].Bytes()[0]) % 2 // queue id smuggled in byte 0
+		if inFlight[qi].Add(1) != 1 {
+			violations.Add(1)
+		}
+		time.Sleep(20 * time.Microsecond) // widen the race window
+		inFlight[qi].Add(-1)
+		for _, m := range batch {
+			processed.Add(1)
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{M: 5, VBar: 100 * time.Microsecond, Seed: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	// Producer marks each packet with its queue index.
+	sent := 0
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		m, err := bench.pool.Get()
+		if err != nil {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		qi := sent % 2
+		m.SetFrame([]byte{byte(qi)})
+		if !bench.rings[qi].Enqueue(m) {
+			m.Free()
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		sent++
+	}
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d concurrent handler invocations on one queue", violations.Load())
+	}
+	if processed.Load() == 0 {
+		t.Fatal("nothing processed")
+	}
+}
+
+func TestAdaptiveTSRespondsToLoad(t *testing.T) {
+	bench := newBench(t, 1)
+	handler := func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			m.Free()
+		}
+	}
+	cfg := Config{M: 3, VBar: 200 * time.Microsecond, Seed: 3}
+	r := New(bench.queues, handler, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	// Idle: rho ~ 0, TS ~ M * VBar.
+	time.Sleep(150 * time.Millisecond)
+	idleTS := r.TS(0)
+	if idleTS < 2*cfg.VBar {
+		t.Errorf("idle TS = %v, want ~%v (M*VBar)", idleTS, 3*cfg.VBar)
+	}
+	// Saturate: handler is slow, queue stays busy, rho climbs, TS falls.
+	stop := make(chan struct{})
+	var prodWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m, err := bench.pool.Get()
+			if err == nil {
+				m.SetFrame([]byte{1})
+				if !bench.rings[0].Enqueue(m) {
+					m.Free()
+				}
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	loadedTS := r.TS(0)
+	loadedRho := r.Rho(0)
+	close(stop)
+	prodWG.Wait()
+	cancel()
+	wg.Wait()
+	if loadedRho < 0.2 {
+		t.Errorf("loaded rho = %v, want clearly positive", loadedRho)
+	}
+	if loadedTS >= idleTS {
+		t.Errorf("TS did not shrink under load: idle %v, loaded %v", idleTS, loadedTS)
+	}
+}
+
+func TestBackupBehaviourMultiqueue(t *testing.T) {
+	bench := newBench(t, 2)
+	handler := func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{M: 4, VBar: 100 * time.Microsecond, Seed: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	// With 4 threads over 2 queues some collisions are inevitable; the
+	// counters must reflect them without deadlock.
+	if r.Stats.Tries.Load() == 0 {
+		t.Fatal("no tries")
+	}
+	if r.Stats.BusyTries.Load() == r.Stats.Tries.Load() {
+		t.Fatal("every try failed: lock never released?")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.M != 3 || c.VBar != 200*time.Microsecond || c.TL != 50*c.VBar ||
+		c.Alpha != 0.125 || c.Burst != 32 || c.Sleeper == nil {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestMRaisedToQueueCount(t *testing.T) {
+	bench := newBench(t, 3)
+	r := New(bench.queues, func(b []*mbuf.Mbuf) {}, Config{M: 1})
+	if r.cfg.M != 3 {
+		t.Errorf("M = %d, want raised to N=3", r.cfg.M)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty queues")
+		}
+	}()
+	New(nil, func(b []*mbuf.Mbuf) {}, Config{})
+}
+
+func TestStaticPollerProcesses(t *testing.T) {
+	bench := newBench(t, 1)
+	var processed atomic.Uint64
+	sp := &StaticPoller{
+		Queues: bench.queues,
+		Handler: func(batch []*mbuf.Mbuf) {
+			for _, m := range batch {
+				processed.Add(1)
+				m.Free()
+			}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); sp.Run(ctx) }()
+	sent := bench.produce(ctx, 5000)
+	deadline := time.Now().Add(2 * time.Second)
+	for processed.Load() < uint64(sent) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if processed.Load() != uint64(sent) {
+		t.Fatalf("processed %d of %d", processed.Load(), sent)
+	}
+	if sp.Polls.Load() == 0 {
+		t.Fatal("no polls")
+	}
+}

@@ -1,0 +1,165 @@
+// Package sim is the discrete-event engine underneath the Metronome
+// reproduction. It provides a virtual clock, an event heap and process
+// scheduling; no wall-clock time ever enters a simulation, so every run is
+// deterministic given its seed.
+//
+// Time is a float64 count of seconds since simulation start. Events at
+// equal times fire in scheduling order (a monotonic sequence number breaks
+// ties), which keeps thread races reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds.
+type Time = float64
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when not queued
+	dead  bool
+	What  string // optional label for tracing
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine runs events in virtual-time order.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (a cheap progress and
+// complexity metric for tests).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a modelling bug.
+func (e *Engine) At(t Time, what string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", what, t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: scheduling %q at NaN", what))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, What: what}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn after a delay d >= 0.
+func (e *Engine) After(d float64, what string, fn func()) *Event {
+	return e.At(e.now+d, what, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// RunUntil executes events until the clock would pass deadline or the queue
+// drains. The clock is left at min(deadline, last event time); events at
+// exactly the deadline do fire.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if !e.halted && e.now < deadline && !math.IsInf(deadline, 1) {
+		e.now = deadline
+	}
+}
+
+// Run executes until the event queue drains or Halt is called.
+func (e *Engine) Run() { e.RunUntil(math.Inf(1)) }
+
+// Ticker invokes fn every period until the engine stops or the returned
+// cancel function is called. The first tick happens one period from now.
+func (e *Engine) Ticker(period float64, what string, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			pending = e.After(period, what, tick)
+		}
+	}
+	pending = e.After(period, what, tick)
+	return func() {
+		stopped = true
+		if pending != nil {
+			pending.Cancel()
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metronome/internal/xrand"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, "c", func() { order = append(order, 3) })
+	e.At(1, "a", func() { order = append(order, 1) })
+	e.At(2, "b", func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(1, "first", func() { order = append(order, "first") })
+	e.At(1, "second", func() { order = append(order, "second") })
+	e.Run()
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestSchedulingInsideEvent(t *testing.T) {
+	e := New()
+	hits := 0
+	e.At(1, "outer", func() {
+		e.After(1, "inner", func() { hits++ })
+	})
+	e.Run()
+	if hits != 1 || e.Now() != 2 {
+		t.Fatalf("hits=%d now=%v", hits, e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, "doomed", func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+func TestRunUntilDeadline(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, "tick", func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1..3 inclusive", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want exactly the deadline", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("resume missed events: %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(7)
+	if e.Now() != 7 {
+		t.Fatalf("idle engine clock = %v, want 7", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), "n", func() {
+			count++
+			if count == 4 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("halted run executed %d events", count)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("pending events discarded by Halt")
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(5, "x", func() {})
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	e.At(1, "late", func() {})
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	n := 0
+	cancel := e.Ticker(1, "tick", func() {
+		n++
+		if n == 5 {
+			e.Halt()
+		}
+	})
+	e.RunUntil(100)
+	if n != 5 {
+		t.Fatalf("ticker fired %d times before halt", n)
+	}
+	cancel()
+	e.RunUntil(100)
+	if n != 5 {
+		t.Fatalf("ticker fired after cancel: %d", n)
+	}
+}
+
+func TestTickerCancelInsideCallback(t *testing.T) {
+	e := New()
+	n := 0
+	var cancel func()
+	cancel = e.Ticker(1, "tick", func() {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	e.RunUntil(100)
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want stop at 3", n)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.After(float64(i), "n", func() {})
+	}
+	e.Run()
+	if e.Fired() != 10 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+// Property: random scheduling always executes in non-decreasing time order.
+func TestRandomScheduleOrdered(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		e := New()
+		last := -1.0
+		ok := true
+		for i := 0; i < 200; i++ {
+			at := r.Uniform(0, 100)
+			e.At(at, "rnd", func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				// nested scheduling keeps the heap honest
+				if r.Bernoulli(0.3) {
+					e.After(r.Uniform(0, 10), "nested", func() {
+						if e.Now() < last {
+							ok = false
+						}
+						last = e.Now()
+					})
+				}
+			})
+		}
+		e.Run()
+		return ok
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	r := xrand.New(1)
+	e := New()
+	// self-perpetuating event chain
+	var loop func()
+	n := 0
+	loop = func() {
+		n++
+		if n < b.N {
+			e.After(r.Uniform(0, 1e-6), "bench", loop)
+		}
+	}
+	e.After(0, "bench", loop)
+	b.ResetTimer()
+	e.Run()
+}

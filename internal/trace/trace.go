@@ -1,0 +1,138 @@
+// Package trace records and renders thread-state timelines — a textual
+// version of the paper's Figure 3, showing how primaries and backups hand
+// a queue around over time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// state of one thread over an interval.
+type state byte
+
+const (
+	stateSleep  state = '.'
+	stateBackup state = '_' // sleeping the long TL after a lost race
+	stateBusy   state = '#' // serving a queue
+	stateTryB   state = 'x' // woke, lost the race
+)
+
+type span struct {
+	from, to float64
+	s        state
+}
+
+// Recorder implements core.Tracer, collecting spans per thread within a
+// bounded window.
+type Recorder struct {
+	From, To float64 // recording window in simulation seconds
+
+	spans     map[int][]span
+	sleepFrom map[int]float64
+	busyFrom  map[int]float64
+	sleepKind map[int]state
+}
+
+// NewRecorder records thread activity inside [from, to].
+func NewRecorder(from, to float64) *Recorder {
+	return &Recorder{
+		From: from, To: to,
+		spans:     map[int][]span{},
+		sleepFrom: map[int]float64{},
+		busyFrom:  map[int]float64{},
+		sleepKind: map[int]state{},
+	}
+}
+
+func (r *Recorder) in(t float64) bool { return t >= r.From && t <= r.To }
+
+func (r *Recorder) add(thread int, from, to float64, s state) {
+	if to < r.From || from > r.To || to <= from {
+		return
+	}
+	if from < r.From {
+		from = r.From
+	}
+	if to > r.To {
+		to = r.To
+	}
+	r.spans[thread] = append(r.spans[thread], span{from, to, s})
+}
+
+// Wake implements core.Tracer.
+func (r *Recorder) Wake(t float64, thread, queue int, won bool) {
+	if from, ok := r.sleepFrom[thread]; ok {
+		kind := r.sleepKind[thread]
+		r.add(thread, from, t, kind)
+		delete(r.sleepFrom, thread)
+	}
+	if won {
+		r.busyFrom[thread] = t
+	} else if r.in(t) {
+		// a lost race is an instantaneous event; mark a sliver
+		r.add(thread, t, t+1e-7, stateTryB)
+	}
+}
+
+// Release implements core.Tracer.
+func (r *Recorder) Release(t float64, thread, queue int, busy float64) {
+	if from, ok := r.busyFrom[thread]; ok {
+		r.add(thread, from, t, stateBusy)
+		delete(r.busyFrom, thread)
+	}
+}
+
+// Sleep implements core.Tracer.
+func (r *Recorder) Sleep(t float64, thread int, req float64, backup bool) {
+	r.sleepFrom[thread] = t
+	if backup {
+		r.sleepKind[thread] = stateBackup
+	} else {
+		r.sleepKind[thread] = stateSleep
+	}
+}
+
+// Render draws one row per thread over the window, width columns wide.
+// Legend: '#' serving, 'x' lost race, '.' primary sleep (TS), '_' backup
+// sleep (TL).
+func (r *Recorder) Render(w io.Writer, width int) {
+	if width <= 0 {
+		width = 100
+	}
+	span := r.To - r.From
+	if span <= 0 {
+		fmt.Fprintln(w, "trace: empty window")
+		return
+	}
+	// stable thread ordering
+	maxThread := -1
+	for id := range r.spans {
+		if id > maxThread {
+			maxThread = id
+		}
+	}
+	fmt.Fprintf(w, "timeline %.0f..%.0f us, one row per thread ('#'=serving, 'x'=lost race, '.'=TS sleep, '_'=TL sleep)\n",
+		r.From*1e6, r.To*1e6)
+	for id := 0; id <= maxThread; id++ {
+		row := []byte(strings.Repeat(" ", width))
+		for _, sp := range r.spans[id] {
+			c0 := int((sp.from - r.From) / span * float64(width))
+			c1 := int((sp.to - r.From) / span * float64(width))
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			for c := c0; c < c1 && c < width; c++ {
+				if c < 0 {
+					continue
+				}
+				// busy and try markers win over sleep fill
+				if row[c] == ' ' || sp.s == stateBusy || sp.s == stateTryB {
+					row[c] = byte(sp.s)
+				}
+			}
+		}
+		fmt.Fprintf(w, "T%d |%s|\n", id, string(row))
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"metronome/internal/core"
+	"metronome/internal/nic"
+	"metronome/internal/sim"
+	"metronome/internal/traffic"
+	"metronome/internal/xrand"
+)
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder(0, 100e-6)
+	r.Sleep(0, 0, 10e-6, false)
+	r.Wake(12e-6, 0, 0, true)
+	r.Release(20e-6, 0, 0, 8e-6)
+	r.Sleep(20e-6, 0, 10e-6, false)
+	r.Wake(33e-6, 0, 0, false) // lost a race this time
+	r.Sleep(33e-6, 0, 500e-6, true)
+
+	var buf bytes.Buffer
+	r.Render(&buf, 100)
+	out := buf.String()
+	if !strings.Contains(out, "T0 |") {
+		t.Fatalf("no thread row:\n%s", out)
+	}
+	for _, marker := range []string{"#", ".", "x", "_"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("marker %q missing:\n%s", marker, out)
+		}
+	}
+}
+
+func TestRecorderClipsWindow(t *testing.T) {
+	r := NewRecorder(10e-6, 20e-6)
+	r.Sleep(0, 0, 5e-6, false)
+	r.Wake(30e-6, 0, 0, true) // sleep span 0..30 clipped to 10..20
+	var buf bytes.Buffer
+	r.Render(&buf, 50)
+	row := buf.String()
+	if strings.Count(row, ".") == 0 {
+		t.Fatalf("clipped sleep missing:\n%s", row)
+	}
+}
+
+func TestRecorderEmptyWindow(t *testing.T) {
+	r := NewRecorder(5, 5)
+	var buf bytes.Buffer
+	r.Render(&buf, 10)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty window not reported")
+	}
+}
+
+func TestEndToEndWithRuntime(t *testing.T) {
+	// Wire the recorder into a real simulated run and check that all
+	// three thread archetypes appear (serving, TS-sleeping, TL-backup).
+	rec := NewRecorder(1e-3, 1.5e-3)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 4
+	cfg.Tracer = rec
+	eng := sim.New()
+	q := nic.NewQueue(0, traffic.CBR{PPS: 14.88e6}, xrand.New(4), nic.DefaultOptions())
+	rt := core.New(eng, []*nic.Queue{q}, cfg)
+	rt.Start()
+	eng.RunUntil(2e-3)
+
+	var buf bytes.Buffer
+	rec.Render(&buf, 120)
+	out := buf.String()
+	if strings.Count(out, "T") < 3 {
+		t.Fatalf("expected 3 thread rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("nobody served in the window:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("nobody slept TS in the window:\n%s", out)
+	}
+}

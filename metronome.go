@@ -1,0 +1,179 @@
+// Package metronome is a Go implementation of Metronome — adaptive and
+// precise intermittent packet retrieval (Faltelli et al., CoNEXT 2020).
+//
+// Metronome replaces the continuous busy-polling of DPDK-style packet
+// frameworks with a sleep&wake discipline: a small team of threads shares
+// each receive queue behind a trylock; the winner drains the queue, then
+// everyone sleeps for timeouts chosen by an analytical model so that the
+// mean time a queue goes unwatched (the "vacation period") stays at a
+// configurable target across traffic loads. CPU drops from 100% per core
+// to a duty cycle proportional to the load, at a bounded latency cost.
+//
+// The package exposes three layers:
+//
+//   - The real-time runtime (NewRunner): goroutines, atomic trylocks and
+//     adaptive timeouts over any non-blocking packet source — the part an
+//     application embeds.
+//   - The analytical model (AdaptiveTS, VacationCDF, ...): the closed
+//     forms of the paper's Sec. IV, reusable for capacity planning.
+//   - The simulation and experiment harness (Simulate, Experiments):
+//     a discrete-event twin of the runtime that regenerates every table
+//     and figure of the paper's evaluation. See DESIGN.md and
+//     EXPERIMENTS.md.
+package metronome
+
+import (
+	"time"
+
+	"metronome/internal/core"
+	"metronome/internal/experiments"
+	"metronome/internal/hrtimer"
+	"metronome/internal/mbuf"
+	"metronome/internal/model"
+	"metronome/internal/nic"
+	"metronome/internal/packet"
+	"metronome/internal/ring"
+	"metronome/internal/runtime"
+	"metronome/internal/sim"
+	"metronome/internal/traffic"
+	"metronome/internal/xrand"
+)
+
+// --- real-time runtime -------------------------------------------------------
+
+// Aliases re-export the real-time layer so callers outside this module can
+// use it without touching internal import paths.
+type (
+	// Mbuf is one packet buffer leased from a Pool.
+	Mbuf = mbuf.Mbuf
+	// Pool is a fixed-size packet-buffer pool (rte_mempool analogue).
+	Pool = mbuf.Pool
+	// RxQueue is any non-blocking burst packet source.
+	RxQueue = runtime.RxQueue
+	// RingQueue adapts a Ring to RxQueue.
+	RingQueue = runtime.RingQueue
+	// Handler consumes bursts of packets; it owns freeing the mbufs.
+	Handler = runtime.Handler
+	// RunnerConfig tunes a Runner; the zero value takes paper defaults.
+	RunnerConfig = runtime.Config
+	// Runner drives M goroutines over N shared queues, Metronome style.
+	Runner = runtime.Runner
+	// StaticPoller is the busy-polling comparator (Listing 1).
+	StaticPoller = runtime.StaticPoller
+	// Sleeper abstracts the sleep service used between polls.
+	Sleeper = hrtimer.Sleeper
+	// GoSleeper sleeps with plain time.Sleep.
+	GoSleeper = hrtimer.GoSleeper
+	// SpinSleeper trades a little CPU for hr_sleep-like precision.
+	SpinSleeper = hrtimer.SpinSleeper
+	// Ring is a bounded MPMC packet ring (rte_ring analogue).
+	Ring = ring.MPMC[*mbuf.Mbuf]
+	// FlowKey is an IPv4 5-tuple.
+	FlowKey = packet.FlowKey
+)
+
+// NewPool preallocates n packet buffers.
+func NewPool(n int) *Pool { return mbuf.NewPool(n) }
+
+// NewRing builds a packet ring; capacity must be a power of two >= 2.
+func NewRing(capacity int) (*Ring, error) {
+	return ring.NewMPMC[*mbuf.Mbuf](capacity)
+}
+
+// NewRunner builds the real-time Metronome over the given queues.
+func NewRunner(queues []RxQueue, handler Handler, cfg RunnerConfig) *Runner {
+	return runtime.New(queues, handler, cfg)
+}
+
+// --- analytical model ---------------------------------------------------------
+
+// AdaptiveTS is eq. (13)/(14): the short timeout that holds the mean
+// vacation period at target for m threads sharing n queues under per-queue
+// load rho.
+func AdaptiveTS(target time.Duration, rho float64, m, n int) time.Duration {
+	ts := model.TSForTargetMultiqueue(target.Seconds(), rho, m, n)
+	return time.Duration(ts * float64(time.Second))
+}
+
+// EstimateRho is eq. (4): the load estimate from a measured busy and
+// vacation period.
+func EstimateRho(busy, vacation time.Duration) float64 {
+	return model.Rho(busy.Seconds(), vacation.Seconds())
+}
+
+// VacationCDF is eq. (5): P(V <= x) at high load for timeouts ts/tl and m
+// threads.
+func VacationCDF(x, ts, tl time.Duration, m int) float64 {
+	return model.CDFVHighLoad(x.Seconds(), ts.Seconds(), tl.Seconds(), m)
+}
+
+// ExpectedVacation is eq. (6): the mean vacation period at high load.
+func ExpectedVacation(ts, tl time.Duration, m int) time.Duration {
+	return time.Duration(model.EVHighLoad(ts.Seconds(), tl.Seconds(), m) * float64(time.Second))
+}
+
+// --- simulation --------------------------------------------------------------
+
+// SimConfig parameterises the discrete-event twin; see the fields of
+// internal/core.Config.
+type SimConfig = core.Config
+
+// SimMetrics summarises one simulated run.
+type SimMetrics = core.Metrics
+
+// DefaultSimConfig mirrors the paper's single-queue tuning (M=3, V̄=10us,
+// TL=500us, l3fwd-grade service rate).
+func DefaultSimConfig() SimConfig { return core.DefaultConfig() }
+
+// Arrival processes for Simulate.
+type (
+	// Traffic is an arrival process over virtual time.
+	Traffic = traffic.Process
+	// CBR is constant-rate traffic (packets/second).
+	CBR = traffic.CBR
+	// PoissonTraffic has memoryless arrivals.
+	PoissonTraffic = traffic.Poisson
+	// RampTraffic is the MoonGen up-down sweep of the adaptation test.
+	RampTraffic = traffic.Ramp
+)
+
+// LineRate64B converts Gbit/s to 64-byte-frame packets/second (10 Gbit/s
+// -> 14.88 Mpps).
+func LineRate64B(gbps float64) float64 { return traffic.Rate64B(gbps) }
+
+// Simulate runs the discrete-event Metronome over one arrival process per
+// queue for the given virtual duration and returns its metrics.
+func Simulate(cfg SimConfig, arrivals []Traffic, duration time.Duration) SimMetrics {
+	eng := sim.New()
+	root := xrand.New(cfg.Seed)
+	queues := make([]*nic.Queue, len(arrivals))
+	for i, p := range arrivals {
+		queues[i] = nic.NewQueue(i, p, root.Split(), nic.DefaultOptions())
+	}
+	rt := core.New(eng, queues, cfg)
+	rt.Start()
+	d := duration.Seconds()
+	eng.RunUntil(d)
+	return rt.Snapshot(d)
+}
+
+// --- experiments ---------------------------------------------------------------
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment = experiments.Experiment
+
+// ResultTable is a rendered experiment artifact.
+type ResultTable = experiments.Table
+
+// Experiments lists every registered reproduction experiment.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by ID (e.g. "fig10", "tab1");
+// quick mode shrinks durations for smoke runs.
+func RunExperiment(id string, quick bool, seed uint64) ([]*ResultTable, bool) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, false
+	}
+	return e.Run(experiments.Options{Quick: quick, Seed: seed}), true
+}

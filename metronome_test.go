@@ -1,0 +1,143 @@
+package metronome_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metronome"
+)
+
+// TestPublicSimulationAPI drives the whole simulation stack through the
+// facade only — what an external user of the module sees.
+func TestPublicSimulationAPI(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.Seed = 7
+	met := metronome.Simulate(cfg,
+		[]metronome.Traffic{metronome.CBR{PPS: metronome.LineRate64B(10)}},
+		200*time.Millisecond,
+	)
+	if met.LossRate > 1e-3 {
+		t.Errorf("loss = %v", met.LossRate)
+	}
+	if met.CPUPercent >= 100 {
+		t.Errorf("CPU = %v%%, must beat a single static core", met.CPUPercent)
+	}
+	if math.Abs(met.ThroughputPPS-metronome.LineRate64B(10))/1e6 > 0.5 {
+		t.Errorf("throughput = %v", met.ThroughputPPS)
+	}
+}
+
+func TestPublicModelAPI(t *testing.T) {
+	// eq (13) limits through the facade.
+	vbar := 10 * time.Microsecond
+	if got := metronome.AdaptiveTS(vbar, 0, 3, 1); got != 30*time.Microsecond {
+		t.Errorf("TS at rho=0 = %v, want M*vbar", got)
+	}
+	if got := metronome.AdaptiveTS(vbar, 1, 3, 1); got != vbar {
+		t.Errorf("TS at rho=1 = %v, want vbar", got)
+	}
+	// eq (4): B=V => rho=0.5.
+	if rho := metronome.EstimateRho(time.Millisecond, time.Millisecond); rho != 0.5 {
+		t.Errorf("rho = %v", rho)
+	}
+	// eq (5)/(6) consistency at the Fig 4 point.
+	ts := 50 * time.Microsecond
+	if p := metronome.VacationCDF(ts, ts, ts, 3); p != 1 {
+		t.Errorf("CDF at TS = %v", p)
+	}
+	ev := metronome.ExpectedVacation(ts, 500*time.Microsecond, 3)
+	if ev <= 0 || ev > ts {
+		t.Errorf("E[V] = %v", ev)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(metronome.Experiments()) < 20 {
+		t.Fatalf("registry size = %d", len(metronome.Experiments()))
+	}
+	tables, ok := metronome.RunExperiment("fig7", true, 1)
+	if !ok || len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("fig7 did not run through the facade")
+	}
+	if _, ok := metronome.RunExperiment("nope", true, 1); ok {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestPublicRuntimeEndToEnd runs producer -> ring -> Metronome runner ->
+// handler entirely through the facade, checking packet conservation.
+func TestPublicRuntimeEndToEnd(t *testing.T) {
+	pool := metronome.NewPool(2048)
+	ringQ, err := metronome.NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var processed atomic.Uint64
+	runner := metronome.NewRunner(
+		[]metronome.RxQueue{metronome.RingQueue{R: ringQ}},
+		func(batch []*metronome.Mbuf) {
+			for _, m := range batch {
+				processed.Add(1)
+				m.Free()
+			}
+		},
+		metronome.RunnerConfig{M: 2, VBar: 100 * time.Microsecond, Seed: 3},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); runner.Run(ctx) }()
+
+	const n = 5000
+	sent := 0
+	for sent < n {
+		m, err := pool.Get()
+		if err != nil {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		m.SetFrame([]byte{1, 2, 3})
+		if !ringQ.Enqueue(m) {
+			m.Free()
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		sent++
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for processed.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if processed.Load() != n {
+		t.Fatalf("processed %d of %d", processed.Load(), n)
+	}
+	if pool.Available() != pool.Size() {
+		t.Fatalf("pool leak: %d/%d", pool.Available(), pool.Size())
+	}
+	if runner.Rho(0) < 0 || runner.TS(0) <= 0 {
+		t.Error("estimator state nonsensical")
+	}
+}
+
+// TestBaselineComparisonViaSim reproduces the headline claim through the
+// public API alone: Metronome's CPU scales with load, polling's does not.
+func TestBaselineComparisonViaSim(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.Seed = 11
+	rates := []float64{metronome.LineRate64B(10), metronome.LineRate64B(1)}
+	var cpus []float64
+	for _, pps := range rates {
+		met := metronome.Simulate(cfg,
+			[]metronome.Traffic{metronome.CBR{PPS: pps}}, 100*time.Millisecond)
+		cpus = append(cpus, met.CPUPercent)
+	}
+	if !(cpus[0] > 2*cpus[1]) {
+		t.Errorf("CPU not load-proportional: %v", cpus)
+	}
+}
