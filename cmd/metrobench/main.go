@@ -13,18 +13,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"metronome/internal/experiments"
+	"metronome/internal/sched"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
-		seed  = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
+		run    = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		quick  = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
+		seed   = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
+		policy = flag.String("policy", "", "re-run deployments under this scheduling discipline: "+strings.Join(sched.Names(), "|"))
 	)
 	flag.Parse()
+
+	if *policy != "" {
+		if _, err := sched.New(*policy, sched.Config{}); err != nil {
+			fmt.Fprintf(os.Stderr, "metrobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -38,7 +48,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Policy: *policy}
 	if *run == "all" {
 		for _, e := range experiments.All() {
 			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)

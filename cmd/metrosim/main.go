@@ -12,9 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"metronome"
+	"metronome/internal/core"
+	"metronome/internal/sched"
 	"metronome/internal/trace"
 )
 
@@ -29,7 +32,8 @@ func main() {
 		mu      = flag.Float64("mu", 29.76, "service rate, Mpps (l3fwd=29.76, ipsec=5.61, flowatcher=28)")
 		d       = flag.Duration("dur", time.Second, "virtual duration to simulate")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
-		fixed   = flag.Duration("fixed-ts", 0, "disable adaptation and use this fixed TS")
+		policy  = flag.String("policy", "", "scheduling discipline: "+strings.Join(sched.Names(), "|")+" (default adaptive)")
+		fixed   = flag.Duration("fixed-ts", 0, "use the fixed discipline with this TS (shorthand for -policy fixed)")
 		doTrace = flag.Bool("trace", false, "print a 1ms thread-state timeline (Fig 3 style)")
 	)
 	flag.Parse()
@@ -47,6 +51,16 @@ func main() {
 	if *fixed > 0 {
 		cfg.Adaptive = false
 		cfg.TSFixed = fixed.Seconds()
+		if *policy == "" {
+			cfg.Policy = sched.NameFixed
+		}
+	}
+	if *policy != "" {
+		if _, err := sched.New(*policy, sched.Config{}); err != nil {
+			fmt.Fprintf(os.Stderr, "metrosim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Policy = *policy
 	}
 	if *queues < 1 || *m < *queues {
 		fmt.Fprintln(os.Stderr, "metrosim: need queues >= 1 and m >= queues")
@@ -72,7 +86,8 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v\n", pps/1e6, *queues, *d)
+	fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v, policy %s\n",
+		pps/1e6, *queues, *d, core.PolicyName(cfg))
 	fmt.Printf("throughput:     %.2f Mpps   loss: %.4f permille\n", met.ThroughputPPS/1e6, met.LossRate*1000)
 	fmt.Printf("cpu:            %.1f%% total across %d threads (static polling would be %d00%%)\n",
 		met.CPUPercent, *m, *queues)

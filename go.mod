@@ -1,0 +1,3 @@
+module metronome
+
+go 1.21

@@ -4,6 +4,11 @@
 // models: a busy-wait poller has no interesting event dynamics (its CPU is
 // 100% by construction), and XDP's behaviour is characterised by its
 // per-packet kernel-path cost and per-queue core binding.
+//
+// The static poller also exists dynamically as the "busypoll" discipline of
+// internal/sched, so it can run inside the shared sim/live engine alongside
+// the other policies (the equivalence is covered by the sched tests);
+// Static below remains the cheap closed form for sweeps and sanity checks.
 package baseline
 
 import (

@@ -6,8 +6,10 @@
 // wakes and wins the race drains the queue (a busy period), releases the
 // lock and re-arms a short timeout TS; a thread that loses notes the busy
 // period, re-targets a random queue (multiqueue) and re-arms a long timeout
-// TL >> TS. Every completed cycle feeds the EWMA load estimator of eq. (11)
-// and the adaptive TS rule of eq. (13)/(14).
+// TL >> TS. All timeout, load-estimation and queue-selection decisions are
+// delegated to a sched.Policy, the same engine the live runtime in
+// internal/runtime uses — the twin only supplies the discrete-event
+// substrate underneath it.
 package core
 
 import (
@@ -15,8 +17,8 @@ import (
 
 	"metronome/internal/cpu"
 	"metronome/internal/hrtimer"
-	"metronome/internal/model"
 	"metronome/internal/nic"
+	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/stats"
 	"metronome/internal/xrand"
@@ -42,9 +44,15 @@ type Config struct {
 	MuSigma float64
 	// Alpha is the EWMA smoothing of the load estimator (eq. 11).
 	Alpha float64
+	// Policy names the scheduling discipline from the sched registry
+	// ("adaptive", "fixed", "busypoll", or an application-registered
+	// name). Empty falls back to the legacy Adaptive/TSFixed fields.
+	// Like the other Config validations, an unknown name panics in New;
+	// pre-validate user-supplied names with sched.New / PolicyNames.
+	Policy string
 	// Adaptive selects eq. (13)/(14); when false every thread sleeps the
 	// fixed TSFixed (the equal-timeout strawman of Fig 6, or the TS=TL
-	// configuration of Fig 4).
+	// configuration of Fig 4). Consulted only when Policy is empty.
 	Adaptive bool
 	TSFixed  float64
 	// PollCost is the CPU time of one empty rx_burst call.
@@ -128,12 +136,11 @@ type Runtime struct {
 	Eng     *sim.Engine
 	Queues  []*nic.Queue
 	Acct    *cpu.Accounting
+	policy  sched.Policy
 	threads []*thread
 
 	locked      []bool
 	lastRelease []float64
-	rho         []*stats.EWMA
-	ts          []float64
 
 	// Counters matching the paper's metrics.
 	Tries     stats.Counter // trylock attempts
@@ -164,18 +171,13 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 		Eng:         eng,
 		Queues:      queues,
 		Acct:        cpu.NewAccounting(cfg.M),
+		policy:      sched.MustNew(PolicyName(cfg), policyConfig(cfg, len(queues))),
 		locked:      make([]bool, len(queues)),
 		lastRelease: make([]float64, len(queues)),
-		rho:         make([]*stats.EWMA, len(queues)),
-		ts:          make([]float64, len(queues)),
 		TriesQ:      make([]int64, len(queues)),
 		BusyTriesQ:  make([]int64, len(queues)),
 	}
 	root := xrand.New(cfg.Seed)
-	for q := range queues {
-		r.rho[q] = stats.NewEWMA(cfg.Alpha)
-		r.ts[q] = r.tsFor(q)
-	}
 	cores := cfg.Cores
 	if len(cores) == 0 {
 		cores = make([]*cpu.Core, cfg.M)
@@ -201,33 +203,51 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 	return r
 }
 
+// PolicyName resolves the discipline cfg selects, mapping the legacy
+// Adaptive/TSFixed fields when no name is given — the single source of
+// truth for what New will instantiate (CLIs print it).
+func PolicyName(cfg Config) string {
+	if cfg.Policy != "" {
+		return cfg.Policy
+	}
+	if cfg.Adaptive {
+		return sched.NameAdaptive
+	}
+	return sched.NameFixed
+}
+
+// policyConfig projects the runtime configuration onto the policy engine's.
+func policyConfig(cfg Config, n int) sched.Config {
+	return sched.Config{
+		VBar:         cfg.VBar,
+		TL:           cfg.TL,
+		TSFixed:      cfg.TSFixed,
+		M:            cfg.M,
+		N:            n,
+		Alpha:        cfg.Alpha,
+		BackupSticky: cfg.BackupSticky,
+	}
+}
+
 // Start arms every thread's first wakeup, de-phased across one timeout so
 // the start is not artificially synchronised (real threads launch
 // sequentially; the decorrelation of Sec. IV-B takes over from there).
 func (r *Runtime) Start() {
 	for _, th := range r.threads {
 		th := th
-		first := th.rng.Uniform(0, r.ts[th.queue]+1e-9)
+		first := th.rng.Uniform(0, r.policy.TS(th.queue)+1e-9)
 		r.Eng.After(first, "metronome-first-wake", func() { r.wakeup(th) })
 	}
 }
 
-// tsFor evaluates the current short timeout for queue q.
-func (r *Runtime) tsFor(q int) float64 {
-	if !r.Cfg.Adaptive {
-		if r.Cfg.TSFixed > 0 {
-			return r.Cfg.TSFixed
-		}
-		return r.Cfg.VBar
-	}
-	return model.TSForTargetMultiqueue(r.Cfg.VBar, r.rho[q].Value(), r.Cfg.M, len(r.Queues))
-}
+// Policy exposes the scheduling discipline driving this runtime.
+func (r *Runtime) Policy() sched.Policy { return r.policy }
 
 // TS returns the current short timeout of queue q (for sampling hooks).
-func (r *Runtime) TS(q int) float64 { return r.ts[q] }
+func (r *Runtime) TS(q int) float64 { return r.policy.TS(q) }
 
 // Rho returns the current load estimate of queue q.
-func (r *Runtime) Rho(q int) float64 { return r.rho[q].Value() }
+func (r *Runtime) Rho(q int) float64 { return r.policy.Rho(q) }
 
 // MuEffective returns the service rate after frequency scaling.
 func (r *Runtime) MuEffective() float64 { return r.Cfg.Mu * r.Cfg.FreqScale }
@@ -252,10 +272,8 @@ func (r *Runtime) wakeup(th *thread) {
 		if r.Cfg.Tracer != nil {
 			r.Cfg.Tracer.Wake(now, th.id, q, false)
 		}
-		if len(r.Queues) > 1 && !r.Cfg.BackupSticky {
-			th.queue = th.rng.Intn(len(r.Queues))
-		}
-		r.sleepTraced(th, r.Cfg.TL, true)
+		th.queue = r.policy.PickBackupQueue(q, th.rng)
+		r.sleepTraced(th, r.policy.TL(q), true)
 		return
 	}
 	// Lock won: serve the queue.
@@ -313,16 +331,15 @@ func (r *Runtime) serveSlices(th *thread, q int, vacation, serviceStart, sliceSt
 	})
 }
 
-// finishCycle releases the lock, folds the cycle into the load estimate,
-// re-evaluates the adaptive TS and puts the thread back to sleep as the
-// (new) primary of this queue.
+// finishCycle releases the lock, hands the cycle to the policy engine —
+// which folds it into the load estimate and re-evaluates TS — and puts the
+// thread back to sleep as the (new) primary of this queue.
 func (r *Runtime) finishCycle(th *thread, q int, vacation, serviceStart, now float64) {
 	busy := now - serviceStart
 	r.locked[q] = false
 	r.lastRelease[q] = now
 	r.Cycles.Inc()
-	r.rho[q].Update(model.Rho(busy, vacation))
-	r.ts[q] = r.tsFor(q)
+	ts := r.policy.ObserveCycle(q, busy, vacation)
 	if r.Cfg.OnCycle != nil {
 		r.Cfg.OnCycle(q, vacation, busy)
 	}
@@ -330,12 +347,29 @@ func (r *Runtime) finishCycle(th *thread, q int, vacation, serviceStart, now flo
 		r.Cfg.Tracer.Release(now, th.id, q, busy)
 	}
 	th.queue = q // primaries re-contend the queue they just drained
-	r.sleepTraced(th, r.ts[q], false)
+	r.sleepTraced(th, ts, false)
 }
 
 // sleep re-arms th's wakeup after the requested timeout plus the sampled
-// sleep-service and scheduler overheads.
+// sleep-service and scheduler overheads. A zero timeout (the busypoll
+// discipline) never enters the sleep service: the thread loops straight
+// into its next trylock after exactly the wake-path work it is charged, so
+// a poller accounts ~100% CPU like Listing 1.
 func (r *Runtime) sleep(th *thread, req float64) {
+	if req <= 0 {
+		// Floor the loop iteration like the wake model floors delays:
+		// with WakeCost configured to zero the engine must still advance,
+		// or the spin would re-enqueue at the same instant forever. The
+		// floored iteration is charged so the poller stays ~100% on-CPU
+		// even then (wakeup charges nothing when WakeCost is zero).
+		spin := r.Cfg.WakeCost
+		if spin <= 0 {
+			spin = 100e-9
+			r.Acct.AddBusy(th.id, spin)
+		}
+		r.Eng.After(spin, "metronome-spin", func() { r.wakeup(th) })
+		return
+	}
 	delay := th.wake.Delay(req, th.core)
 	r.Eng.After(delay, "metronome-wake", func() { r.wakeup(th) })
 }

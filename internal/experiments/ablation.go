@@ -6,6 +6,7 @@ import (
 	"metronome/internal/core"
 	"metronome/internal/hrtimer"
 	"metronome/internal/nic"
+	"metronome/internal/sched"
 	"metronome/internal/traffic"
 )
 
@@ -27,6 +28,12 @@ func init() {
 		Title: "Ablation: random vs sticky backup queue selection (multiqueue)",
 		Paper: "Sec. IV-E argues random re-targeting decorrelates and spreads checks",
 		Run:   runAblBackup,
+	})
+	register(Experiment{
+		ID:    "abl-policy",
+		Title: "Ablation: scheduling disciplines (adaptive vs fixed vs busypoll)",
+		Paper: "Fig 10's three systems recast as sched policies in the one engine",
+		Run:   runAblPolicy,
 	})
 	register(Experiment{
 		ID:    "abl-txbatch",
@@ -53,9 +60,12 @@ func runAblTimeouts(o Options) []*Table {
 	eq.Adaptive = false
 	eq.TSFixed = 10e-6
 	eq.TL = 10e-6
-	_, meq := singleQueueCBR(eq, traffic.Rate64B(10), d, o.Seed+1300)
+	_, meq := singleQueueCBR(o, eq, traffic.Rate64B(10), d, o.Seed+1300)
 	sp := core.DefaultConfig()
-	_, msp := singleQueueCBR(sp, traffic.Rate64B(10), d, o.Seed+1301)
+	// The timeout split IS this experiment's axis: pin the discipline so a
+	// global -policy override cannot mislabel the row.
+	sp.Policy = sched.NameAdaptive
+	_, msp := singleQueueCBR(o, sp, traffic.Rate64B(10), d, o.Seed+1301)
 	t.Rows = append(t.Rows, []string{"equal_TS=TL=10us", pct(meq.BusyTryFrac * 100), pct(meq.CPUPercent), permille(meq.LossRate)})
 	t.Rows = append(t.Rows, []string{"split_TS/TL=500us", pct(msp.BusyTryFrac * 100), pct(msp.CPUPercent), permille(msp.LossRate)})
 	return []*Table{t}
@@ -70,11 +80,13 @@ func runAblAdaptive(o Options) []*Table {
 	}
 	for i, gbps := range []float64{10, 5, 1, 0.5} {
 		ad := core.DefaultConfig()
-		_, ma := singleQueueCBR(ad, traffic.Rate64B(gbps), d, o.Seed+uint64(1310+i))
+		// Adaptive-vs-fixed IS this experiment's axis: pin both arms.
+		ad.Policy = sched.NameAdaptive
+		_, ma := singleQueueCBR(o, ad, traffic.Rate64B(gbps), d, o.Seed+uint64(1310+i))
 		fx := core.DefaultConfig()
 		fx.Adaptive = false
 		fx.TSFixed = 10e-6
-		_, mf := singleQueueCBR(fx, traffic.Rate64B(gbps), d, o.Seed+uint64(1320+i))
+		_, mf := singleQueueCBR(o, fx, traffic.Rate64B(gbps), d, o.Seed+uint64(1320+i))
 		t.Rows = append(t.Rows, []string{f1(gbps), us(ma.MeanVacation), us(mf.MeanVacation)})
 	}
 	t.Notes = append(t.Notes,
@@ -95,6 +107,9 @@ func runAblBackup(o Options) []*Table {
 		cfg := core.DefaultConfig()
 		cfg.M = 5
 		cfg.VBar = 15e-6
+		// The backup-selection axis under study belongs to the discipline,
+		// so pin it: a global -policy override would erase the contrast.
+		cfg.Policy = sched.NameAdaptive
 		cfg.BackupSticky = sticky
 		procs := make([]traffic.Process, 3)
 		for i, s := range shares {
@@ -119,6 +134,34 @@ func runAblBackup(o Options) []*Table {
 	return []*Table{t}
 }
 
+func runAblPolicy(o Options) []*Table {
+	d := dur(o, 0.5)
+	var tables []*Table
+	for gi, gbps := range []float64{10, 1} {
+		t := &Table{
+			ID:      "abl-policy",
+			Title:   fmt.Sprintf("disciplines at %.0f Gbps, M=3, V̄=10us", gbps),
+			Columns: []string{"policy", "cpu_pct", "lat_mean_us", "measured_V_us", "loss_permille"},
+		}
+		for pi, name := range []string{sched.NameAdaptive, sched.NameFixed, sched.NameBusyPoll} {
+			cfg := core.DefaultConfig()
+			cfg.Policy = name
+			cfg.TSFixed = 10e-6 // the fixed discipline pins TS at the target
+			_, m := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d,
+				o.Seed+uint64(1400+10*gi+pi))
+			t.Rows = append(t.Rows, []string{
+				name, pct(m.CPUPercent), us(m.Latency.Mean),
+				us(m.MeanVacation), permille(m.LossRate),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"busypoll is Listing 1 inside the shared engine: ~100% CPU per thread, vacation ~ the wake overhead",
+		)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
 func runAblTxBatch(o Options) []*Table {
 	d := dur(o, 1.0)
 	t := &Table{
@@ -135,10 +178,11 @@ func runAblTxBatch(o Options) []*Table {
 			cfg.Mu *= 0.97
 		}
 		rt, m := runMetronome(runSpec{
-			cfg:   cfg,
-			optFn: func(opt *nic.Options) { opt.TxBatch = batch },
-			procs: []traffic.Process{traffic.CBR{PPS: traffic.Rate64B(1)}},
-			dur:   d, warmup: d * 0.2,
+			cfg:    cfg,
+			policy: overridePolicy(o, cfg),
+			optFn:  func(opt *nic.Options) { opt.TxBatch = batch },
+			procs:  []traffic.Process{traffic.CBR{PPS: traffic.Rate64B(1)}},
+			dur:    d, warmup: d * 0.2,
 			seed: o.Seed + uint64(1340+batch),
 		})
 		_ = rt
@@ -159,7 +203,7 @@ func runAblSleep(o Options) []*Table {
 	for i, svc := range []hrtimer.Service{hrtimer.HRSleep, hrtimer.Nanosleep, hrtimer.HRSleepPatched} {
 		cfg := core.DefaultConfig()
 		cfg.Sleep = svc
-		_, m := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(1350+i))
+		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(1350+i))
 		t.Rows = append(t.Rows, []string{svc.String(), us(m.MeanVacation), us(m.Latency.Mean), pct(m.CPUPercent)})
 	}
 	return []*Table{t}

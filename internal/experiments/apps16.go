@@ -47,7 +47,7 @@ func runFig16(o Options) []*Table {
 		for i, rate := range c.rates {
 			cfg := core.DefaultConfig()
 			cfg.Mu = mu
-			_, m := singleQueueCBR(cfg, rate, d, o.Seed+uint64(1200+ci*10+i))
+			_, m := singleQueueCBR(o, cfg, rate, d, o.Seed+uint64(1200+ci*10+i))
 			st := baseline.DefaultStatic()
 			st.Mu = mu
 			sres := baseline.Static(st, rate)

@@ -28,6 +28,10 @@ type Options struct {
 	Quick bool
 	// Seed makes the whole experiment reproducible.
 	Seed uint64
+	// Policy overrides the scheduling discipline (a sched registry name)
+	// for every deployment that does not pin its own — the metrobench
+	// -policy flag, letting any experiment re-run under fixed or busypoll.
+	Policy string
 }
 
 // Table is one rendered artifact (a paper table, or one panel of a figure).
@@ -113,6 +117,7 @@ func ByID(id string) (Experiment, bool) {
 // runSpec describes one simulated Metronome deployment.
 type runSpec struct {
 	cfg    core.Config
+	policy string             // sched policy name; overrides cfg.Policy when set
 	optFn  func(*nic.Options) // per-queue option tweaks (nil = defaults)
 	procs  []traffic.Process  // one per queue
 	dur    float64
@@ -120,9 +125,22 @@ type runSpec struct {
 	seed   uint64
 }
 
+// overridePolicy yields the Options-level discipline override for a
+// deployment, unless the experiment pinned its own (an explicit Policy
+// name, or the legacy fixed-TS fields).
+func overridePolicy(o Options, cfg core.Config) string {
+	if cfg.Policy == "" && cfg.Adaptive {
+		return o.Policy
+	}
+	return ""
+}
+
 // runMetronome executes the spec and snapshots metrics over the
 // post-warm-up window.
 func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
+	if s.policy != "" {
+		s.cfg.Policy = s.policy
+	}
 	eng := sim.New()
 	root := xrand.New(s.seed)
 	queues := make([]*nic.Queue, len(s.procs))
@@ -152,10 +170,12 @@ func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
 	return r, r.Snapshot(s.dur)
 }
 
-// singleQueueCBR is the common single-queue constant-rate deployment.
-func singleQueueCBR(cfg core.Config, pps, dur float64, seed uint64) (*core.Runtime, core.Metrics) {
+// singleQueueCBR is the common single-queue constant-rate deployment; the
+// Options-level policy override applies unless cfg pinned a discipline.
+func singleQueueCBR(o Options, cfg core.Config, pps, dur float64, seed uint64) (*core.Runtime, core.Metrics) {
 	return runMetronome(runSpec{
 		cfg:    cfg,
+		policy: overridePolicy(o, cfg),
 		procs:  []traffic.Process{traffic.CBR{PPS: pps}},
 		dur:    dur,
 		warmup: dur * 0.2,

@@ -43,6 +43,7 @@ func runAblPoisson(o Options) []*Table {
 			cfg := core.DefaultConfig()
 			rt, m := runMetronome(runSpec{
 				cfg:    cfg,
+				policy: overridePolicy(o, cfg),
 				procs:  []traffic.Process{mk.p},
 				dur:    d,
 				warmup: d * 0.2,

@@ -80,7 +80,7 @@ func runAblRobust(o Options) []*Table {
 		}
 		cfg.WakeOverrides = over
 		cfg.Cores = cores
-		_, met := singleQueueCBR(cfg, traffic.Rate64B(10), d, seed)
+		_, met := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, seed)
 		t.Rows = append(t.Rows, []string{
 			name, fmt.Sprintf("%d", hogged), permille(met.LossRate),
 			mpps(met.ThroughputPPS), us(met.MeanVacation),

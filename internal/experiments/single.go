@@ -52,7 +52,7 @@ func runTab1(o Options) []*Table {
 	for i, vbar := range []float64{5e-6, 10e-6, 12e-6, 15e-6, 20e-6} {
 		cfg := core.DefaultConfig()
 		cfg.VBar = vbar
-		_, m := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(i))
+		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(i))
 		t.Rows = append(t.Rows, []string{
 			f1(vbar * 1e6), us(m.MeanVacation), us(m.MeanBusy),
 			f2(m.MeanNV), permille(m.LossRate),
@@ -77,7 +77,7 @@ func runFig5(o Options) []*Table {
 		for i, vbar := range []float64{2e-6, 5e-6, 7e-6, 10e-6} {
 			cfg := core.DefaultConfig()
 			cfg.VBar = vbar
-			_, m := singleQueueCBR(cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(100+i))
+			_, m := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(100+i))
 			t.Rows = append(t.Rows, []string{
 				f1(vbar * 1e6), us(m.Latency.Mean), us(m.Latency.Q1), us(m.Latency.Q3),
 				pct(m.CPUPercent),
@@ -98,7 +98,7 @@ func runFig6(o Options) []*Table {
 	for i, tl := range []float64{100e-6, 300e-6, 500e-6, 700e-6} {
 		cfg := core.DefaultConfig()
 		cfg.TL = tl
-		_, m := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(200+i))
+		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(200+i))
 		t.Rows = append(t.Rows, []string{
 			f1(tl * 1e6), pct(m.BusyTryFrac * 100), pct(m.CPUPercent),
 		})
@@ -117,7 +117,7 @@ func runFig7(o Options) []*Table {
 	for i, m := range []int{2, 3, 4, 5, 6} {
 		cfg := core.DefaultConfig()
 		cfg.M = m
-		_, met := singleQueueCBR(cfg, traffic.Rate64B(10), d, o.Seed+uint64(300+i))
+		_, met := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(300+i))
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", m), pct(met.BusyTryFrac * 100), pct(met.CPUPercent),
 		})
@@ -137,7 +137,7 @@ func runFig8(o Options) []*Table {
 		for i, m := range []int{2, 3, 4, 5, 6} {
 			cfg := core.DefaultConfig()
 			cfg.M = m
-			_, met := singleQueueCBR(cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(400+i))
+			_, met := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(400+i))
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%d", m),
 				us(met.Latency.Mean), us(met.Latency.Q1), us(met.Latency.Q3),

@@ -1,9 +1,21 @@
 package ring
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
+
+// soak scales a concurrency-soak iteration count: full size normally,
+// a light pass under -short. The spin loops below yield between retries —
+// on a single-core runner a bare spin starves the peer goroutine for whole
+// scheduler quanta and the suite takes minutes instead of seconds.
+func soak(t *testing.T, full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
 
 func TestBadCapacity(t *testing.T) {
 	for _, c := range []int{0, 1, 3, 100} {
@@ -95,7 +107,8 @@ func TestMPMCConcurrent(t *testing.T) {
 	// N producers, M consumers; every produced value must be consumed
 	// exactly once. Run with -race to exercise the memory ordering.
 	r, _ := NewMPMC[int](64)
-	const producers, perProducer, consumers = 4, 10000, 4
+	const producers, consumers = 4, 4
+	perProducer := soak(t, 5000)
 	var wg sync.WaitGroup
 	seen := make([]int32, producers*perProducer)
 	var mu sync.Mutex
@@ -108,6 +121,7 @@ func TestMPMCConcurrent(t *testing.T) {
 			for i := 0; i < perProducer; i++ {
 				v := p*perProducer + i
 				for !r.Enqueue(v) {
+					runtime.Gosched()
 				}
 			}
 		}(p)
@@ -133,6 +147,7 @@ func TestMPMCConcurrent(t *testing.T) {
 							mu.Unlock()
 						}
 					default:
+						runtime.Gosched()
 						continue
 					}
 				}
@@ -188,10 +203,11 @@ func TestSPSCFullAndWrap(t *testing.T) {
 
 func TestSPSCConcurrent(t *testing.T) {
 	r, _ := NewSPSC[int](128)
-	const n = 200000
+	n := soak(t, 50000)
 	go func() {
 		for i := 0; i < n; i++ {
 			for !r.Enqueue(i) {
+				runtime.Gosched()
 			}
 		}
 	}()
@@ -199,6 +215,7 @@ func TestSPSCConcurrent(t *testing.T) {
 	for next < n {
 		v, ok := r.Dequeue()
 		if !ok {
+			runtime.Gosched()
 			continue
 		}
 		if v != next {

@@ -7,15 +7,14 @@ package runtime
 
 import (
 	"context"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"metronome/internal/hrtimer"
 	"metronome/internal/mbuf"
-	"metronome/internal/model"
 	"metronome/internal/ring"
+	"metronome/internal/sched"
 	"metronome/internal/xrand"
 )
 
@@ -53,8 +52,14 @@ type Config struct {
 	Alpha float64
 	// Burst is the PollBurst size (default 32).
 	Burst int
-	// Adaptive enables the eq. (13)/(14) TS rule (default on unless
-	// TSFixed is set).
+	// Policy names the scheduling discipline from the sched registry
+	// ("adaptive", "fixed", "busypoll", ...). Empty defaults to adaptive,
+	// or fixed when TSFixed is set. Like New's other validations, an
+	// unknown name panics at construction; pre-validate user-supplied
+	// names with sched.New / metronome.PolicyNames.
+	Policy string
+	// TSFixed pins the short timeout, disabling the eq. (13)/(14) rule
+	// (consulted only when Policy is empty or "fixed").
 	TSFixed time.Duration
 	// Sleeper is the sleep service (default hrtimer.GoSleeper).
 	Sleeper hrtimer.Sleeper
@@ -94,16 +99,17 @@ type Stats struct {
 
 type queueState struct {
 	lock        atomic.Bool
-	lastRelease atomic.Int64  // nanotime of last lock release
-	rhoBits     atomic.Uint64 // float64 bits of the EWMA load estimate
-	tsNanos     atomic.Int64  // current short timeout
+	lastRelease atomic.Int64 // nanotime of last lock release
 }
 
-// Runner drives M goroutines over N shared queues.
+// Runner drives M goroutines over N shared queues. Timeout selection, load
+// estimation and backup queue choice live in the sched.Policy — the same
+// engine the discrete-event twin in internal/core runs on.
 type Runner struct {
 	cfg     Config
 	queues  []RxQueue
 	handler Handler
+	policy  sched.Policy
 	state   []queueState
 	Stats   Stats
 
@@ -123,36 +129,42 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 	if cfg.M < len(queues) {
 		cfg.M = len(queues) // every queue deserves a primary (Sec. IV-E)
 	}
+	name := cfg.Policy
+	if name == "" {
+		if cfg.TSFixed > 0 {
+			name = sched.NameFixed
+		} else {
+			name = sched.NameAdaptive
+		}
+	}
 	r := &Runner{
 		cfg:     cfg,
 		queues:  queues,
 		handler: handler,
-		state:   make([]queueState, len(queues)),
-	}
-	for i := range r.state {
-		r.state[i].tsNanos.Store(int64(r.tsFor(0))) // rho=0: TS = M/N * VBar
+		policy: sched.MustNew(name, sched.Config{
+			VBar:    cfg.VBar.Seconds(),
+			TL:      cfg.TL.Seconds(),
+			TSFixed: cfg.TSFixed.Seconds(),
+			M:       cfg.M,
+			N:       len(queues),
+			Alpha:   cfg.Alpha,
+		}),
+		state: make([]queueState, len(queues)),
 	}
 	return r
 }
 
-// tsFor evaluates eq. (13)/(14) for a load estimate, in nanoseconds.
-func (r *Runner) tsFor(rho float64) time.Duration {
-	if r.cfg.TSFixed > 0 {
-		return r.cfg.TSFixed
-	}
-	ts := model.TSForTargetMultiqueue(r.cfg.VBar.Seconds(), rho, r.cfg.M, len(r.queues))
-	return time.Duration(ts * float64(time.Second))
-}
+// Policy exposes the scheduling discipline driving this runner.
+func (r *Runner) Policy() sched.Policy { return r.policy }
 
 // Rho returns queue q's current load estimate.
-func (r *Runner) Rho(q int) float64 {
-	return math.Float64frombits(r.state[q].rhoBits.Load())
-}
+func (r *Runner) Rho(q int) float64 { return r.policy.Rho(q) }
 
 // TS returns queue q's current short timeout.
-func (r *Runner) TS(q int) time.Duration {
-	return time.Duration(r.state[q].tsNanos.Load())
-}
+func (r *Runner) TS(q int) time.Duration { return seconds(r.policy.TS(q)) }
+
+// seconds converts the policy engine's float64 seconds to a Duration.
+func seconds(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
 // Run blocks, serving queues until ctx is cancelled. It may be called once.
 func (r *Runner) Run(ctx context.Context) {
@@ -179,12 +191,12 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		r.Stats.Tries.Add(1)
 		st := &r.state[q]
 		if !st.lock.CompareAndSwap(false, true) {
-			// Busy try: back off to a random queue for TL.
+			// Busy try: let the policy re-target the thread and back off
+			// for its long timeout.
 			r.Stats.BusyTries.Add(1)
-			if len(r.queues) > 1 {
-				q = rng.Intn(len(r.queues))
-			}
-			r.cfg.Sleeper.Sleep(r.cfg.TL)
+			tl := r.policy.TL(q)
+			q = r.policy.PickBackupQueue(q, rng)
+			r.cfg.Sleeper.Sleep(seconds(tl))
 			continue
 		}
 		began := r.nanotime()
@@ -201,20 +213,16 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		ended := r.nanotime()
 		busy := time.Duration(ended - began)
 
-		// Fold the cycle into the queue's load estimate (eq. 11) and
-		// re-evaluate TS (eq. 13/14). Only the lock holder writes these,
-		// so plain read-modify-write on the atomics is race-free.
-		rho := math.Float64frombits(st.rhoBits.Load())
-		sample := model.Rho(busy.Seconds(), vacation.Seconds())
-		rho = (1-r.cfg.Alpha)*rho + r.cfg.Alpha*sample
-		st.rhoBits.Store(math.Float64bits(rho))
-		ts := r.tsFor(rho)
-		st.tsNanos.Store(int64(ts))
+		// Hand the cycle to the policy engine: it folds it into the load
+		// estimate (eq. 11) and returns the re-evaluated TS (eq. 13/14).
+		// Only the lock holder observes a queue's cycles, which is the
+		// serialisation ObserveCycle requires.
+		ts := r.policy.ObserveCycle(q, busy.Seconds(), vacation.Seconds())
 		st.lastRelease.Store(ended)
 		r.Stats.Cycles.Add(1)
 		st.lock.Store(false)
 
-		r.cfg.Sleeper.Sleep(ts)
+		r.cfg.Sleeper.Sleep(seconds(ts))
 	}
 }
 

@@ -1,0 +1,42 @@
+package sched
+
+import "metronome/internal/model"
+
+// NameAdaptive selects the paper's adaptive discipline.
+const NameAdaptive = "adaptive"
+
+func init() {
+	Register(NameAdaptive, func(cfg Config) Policy { return NewAdaptiveTS(cfg) })
+}
+
+// AdaptiveTS is the paper's discipline: eq. (13)/(14) re-evaluate the short
+// timeout after every cycle so the mean vacation period holds at VBar as
+// the per-queue load estimate moves.
+type AdaptiveTS struct {
+	base
+}
+
+// NewAdaptiveTS builds the adaptive policy; every queue starts at the
+// rho=0 timeout (M/N)*VBar.
+func NewAdaptiveTS(cfg Config) *AdaptiveTS {
+	p := &AdaptiveTS{base: newBase(cfg)}
+	for q := range p.ts {
+		p.ts[q].Store(p.evaluate(0))
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *AdaptiveTS) Name() string { return NameAdaptive }
+
+// evaluate is eq. (14) (eq. (13) when N=1) for a load estimate.
+func (p *AdaptiveTS) evaluate(rho float64) float64 {
+	return model.TSForTargetMultiqueue(p.cfg.VBar, rho, p.cfg.M, p.cfg.N)
+}
+
+// ObserveCycle implements Policy.
+func (p *AdaptiveTS) ObserveCycle(q int, busy, vacation float64) float64 {
+	ts := p.evaluate(p.est.Observe(q, busy, vacation))
+	p.ts[q].Store(ts)
+	return ts
+}

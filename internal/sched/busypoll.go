@@ -1,0 +1,42 @@
+package sched
+
+// NameBusyPoll selects the continuous-polling discipline.
+const NameBusyPoll = "busypoll"
+
+func init() {
+	Register(NameBusyPoll, func(cfg Config) Policy { return NewBusyPoll(cfg) })
+}
+
+// BusyPoll is classic DPDK polling (Listing 1) expressed as a degenerate
+// Metronome discipline: every timeout is zero, so threads re-poll
+// back-to-back and the vacation period collapses to the wakeup overhead.
+// It subsumes the static baseline inside the shared engine — the sim twin
+// run under BusyPoll reproduces internal/baseline's 100%-CPU steady state —
+// and losing threads stay on their queue, as a statically-bound poller
+// would.
+type BusyPoll struct {
+	base
+}
+
+// NewBusyPoll builds the busy-polling policy.
+func NewBusyPoll(cfg Config) *BusyPoll {
+	p := &BusyPoll{base: newBase(cfg)}
+	// ts entries stay zero: never sleep.
+	return p
+}
+
+// Name implements Policy.
+func (p *BusyPoll) Name() string { return NameBusyPoll }
+
+// TL implements Policy: a poller that lost the race re-tries immediately.
+func (p *BusyPoll) TL(q int) float64 { return 0 }
+
+// ObserveCycle implements Policy: the estimate updates for observability,
+// the timeout stays zero.
+func (p *BusyPoll) ObserveCycle(q int, busy, vacation float64) float64 {
+	p.est.Observe(q, busy, vacation)
+	return 0
+}
+
+// PickBackupQueue implements Policy: static pollers are pinned.
+func (p *BusyPoll) PickBackupQueue(cur int, rng Rand) int { return cur }

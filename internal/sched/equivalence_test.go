@@ -1,0 +1,160 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"metronome/internal/baseline"
+	"metronome/internal/core"
+	"metronome/internal/mbuf"
+	"metronome/internal/nic"
+	"metronome/internal/ring"
+	"metronome/internal/runtime"
+	"metronome/internal/sched"
+	"metronome/internal/sim"
+	"metronome/internal/traffic"
+	"metronome/internal/xrand"
+)
+
+// newTwins builds the discrete-event twin and the live runner over the
+// same deployment shape (M threads, N queues, identical VBar/TL/Alpha).
+func newTwins(t *testing.T, m, n int) (*core.Runtime, *runtime.Runner) {
+	t.Helper()
+	eng := sim.New()
+	root := xrand.New(1)
+	queues := make([]*nic.Queue, n)
+	for i := range queues {
+		queues[i] = nic.NewQueue(i, traffic.CBR{PPS: 0}, root.Split(), nic.DefaultOptions())
+	}
+	simCfg := core.DefaultConfig()
+	simCfg.M = m
+	simCfg.VBar = 10e-6
+	simCfg.TL = 500e-6
+	simCfg.Alpha = 0.125
+	rt := core.New(eng, queues, simCfg)
+
+	rxs := make([]runtime.RxQueue, n)
+	for i := range rxs {
+		r, err := ring.NewMPMC[*mbuf.Mbuf](8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rxs[i] = runtime.RingQueue{R: r}
+	}
+	liveCfg := runtime.Config{
+		M:     m,
+		VBar:  10 * time.Microsecond,
+		TL:    500 * time.Microsecond,
+		Alpha: 0.125,
+	}
+	runner := runtime.New(rxs, func([]*mbuf.Mbuf) {}, liveCfg)
+	return rt, runner
+}
+
+// TestSimLiveTSEquivalence is the acceptance check of the policy layer:
+// for identical (rho, M, N) the sim twin and the live runtime must compute
+// bit-identical short timeouts, because both delegate to the same
+// sched.Policy engine. Cycles are fed through each side's own policy so
+// the test exercises the rewired paths, not a shared object.
+func TestSimLiveTSEquivalence(t *testing.T) {
+	cycles := []struct{ busy, vacation float64 }{
+		{0, 100e-6},       // empty polls
+		{5e-6, 20e-6},     // light load
+		{50e-6, 10e-6},    // heavy
+		{200e-6, 5e-6},    // near saturation
+		{1e-6, 300e-6},    // load drains away
+		{0.5e-6, 900e-6},  // idle again
+		{80e-6, 8e-6},     // burst returns
+		{120e-6, 2e-6},    // overload
+		{3e-6, 3e-6},      // exactly rho = 0.5
+		{10e-6, 999.9e-6}, // long vacation tail
+	}
+	for _, shape := range []struct{ m, n int }{{3, 1}, {4, 2}, {6, 3}} {
+		rt, runner := newTwins(t, shape.m, shape.n)
+		simPol, livePol := rt.Policy(), runner.Policy()
+		if simPol.Name() != livePol.Name() {
+			t.Fatalf("policy names differ: %q vs %q", simPol.Name(), livePol.Name())
+		}
+		for q := 0; q < shape.n; q++ {
+			if simPol.TS(q) != livePol.TS(q) {
+				t.Fatalf("M=%d N=%d q=%d: initial TS %v != %v",
+					shape.m, shape.n, q, simPol.TS(q), livePol.TS(q))
+			}
+			for i, c := range cycles {
+				sTS := simPol.ObserveCycle(q, c.busy, c.vacation)
+				lTS := livePol.ObserveCycle(q, c.busy, c.vacation)
+				if sTS != lTS {
+					t.Fatalf("M=%d N=%d q=%d cycle %d: sim TS %v != live TS %v",
+						shape.m, shape.n, q, i, sTS, lTS)
+				}
+				if simPol.Rho(q) != livePol.Rho(q) {
+					t.Fatalf("M=%d N=%d q=%d cycle %d: rho %v != %v",
+						shape.m, shape.n, q, i, simPol.Rho(q), livePol.Rho(q))
+				}
+				if rt.TS(q) != sTS {
+					t.Fatalf("core.TS(%d) = %v, policy says %v", q, rt.TS(q), sTS)
+				}
+				if got, want := runner.TS(q), time.Duration(lTS*float64(time.Second)); got != want {
+					t.Fatalf("runner.TS(%d) = %v, want %v", q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBusyPollZeroCostTerminates pins the spin-path floor: a config with
+// zero WakeCost (anything not built via DefaultConfig) must still advance
+// the engine clock under busypoll instead of re-enqueueing at the same
+// instant forever.
+func TestBusyPollZeroCostTerminates(t *testing.T) {
+	eng := sim.New()
+	root := xrand.New(1)
+	q := nic.NewQueue(0, traffic.CBR{PPS: 0}, root.Split(), nic.DefaultOptions())
+	cfg := core.Config{M: 1, VBar: 10e-6, TL: 500e-6, Mu: 1e6, MaxSlice: 200e-6,
+		Policy: sched.NameBusyPoll}
+	rt := core.New(eng, []*nic.Queue{q}, cfg)
+	rt.Start()
+	eng.RunUntil(1e-3)
+	if rt.Tries.Value == 0 {
+		t.Fatal("poller never polled")
+	}
+}
+
+// TestBusyPollSubsumesStaticBaseline runs the sim twin under the busypoll
+// discipline and checks it reproduces the closed-form static baseline of
+// internal/baseline: every thread burns ~100% of its core and delivered
+// throughput matches the offered load below saturation.
+func TestBusyPollSubsumesStaticBaseline(t *testing.T) {
+	eng := sim.New()
+	root := xrand.New(3)
+	pps := 2e6 // well under mu: no loss in either formulation
+	q := nic.NewQueue(0, traffic.CBR{PPS: pps}, root.Split(), nic.DefaultOptions())
+	cfg := core.DefaultConfig()
+	cfg.M = 1
+	cfg.Policy = sched.NameBusyPoll
+	rt := core.New(eng, []*nic.Queue{q}, cfg)
+	rt.Start()
+	const wall = 0.05
+	eng.RunUntil(wall)
+	m := rt.Snapshot(wall)
+
+	ref := baseline.Static(baseline.DefaultStatic(), pps)
+	if m.CPUPercent < 80 {
+		t.Errorf("busypoll CPU = %.1f%%, want ~%.0f%% (static baseline)", m.CPUPercent, ref.CPUPercent)
+	}
+	if ref.CPUPercent != 100 {
+		t.Fatalf("static baseline CPU = %v, want 100", ref.CPUPercent)
+	}
+	if math.Abs(m.ThroughputPPS-ref.ThroughputPPS)/ref.ThroughputPPS > 0.05 {
+		t.Errorf("busypoll throughput %.0f pps vs baseline %.0f pps", m.ThroughputPPS, ref.ThroughputPPS)
+	}
+	if m.LossRate > 1e-3 {
+		t.Errorf("busypoll dropped %.4f below saturation", m.LossRate)
+	}
+	// The vacation period collapses to the per-wake overhead: orders of
+	// magnitude below the adaptive target.
+	if m.MeanVacation > 5e-6 {
+		t.Errorf("busypoll mean vacation = %v s, want ~wake overhead", m.MeanVacation)
+	}
+}

@@ -1,0 +1,38 @@
+package sched
+
+// NameFixed selects the constant-timeout discipline.
+const NameFixed = "fixed"
+
+func init() {
+	Register(NameFixed, func(cfg Config) Policy { return NewFixedTS(cfg) })
+}
+
+// FixedTS sleeps a constant short timeout regardless of load — the
+// equal-timeout strawman of Fig 6 and the TS=TL configuration of Fig 4.
+// The load estimator still runs so rho stays observable.
+type FixedTS struct {
+	base
+}
+
+// NewFixedTS builds the fixed policy; TSFixed zero falls back to VBar.
+func NewFixedTS(cfg Config) *FixedTS {
+	p := &FixedTS{base: newBase(cfg)}
+	ts := p.cfg.TSFixed
+	if ts <= 0 {
+		ts = p.cfg.VBar
+	}
+	for q := range p.ts {
+		p.ts[q].Store(ts)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *FixedTS) Name() string { return NameFixed }
+
+// ObserveCycle implements Policy: the estimate updates, the timeout does
+// not.
+func (p *FixedTS) ObserveCycle(q int, busy, vacation float64) float64 {
+	p.est.Observe(q, busy, vacation)
+	return p.TS(q)
+}

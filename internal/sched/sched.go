@@ -1,0 +1,177 @@
+// Package sched is Metronome's sleep&wake policy engine: the one place
+// where a scheduling discipline decides how long threads sleep (the short
+// timeout TS and the backup timeout TL), how the per-queue load estimate is
+// maintained, and which queue a thread that lost a trylock race contends
+// next. Both execution substrates — the discrete-event twin in
+// internal/core and the live goroutine runtime in internal/runtime —
+// delegate those decisions here, so a new discipline is a single
+// implementation of Policy (plus a Register call) and is immediately
+// available to the simulator, the live runtime, every experiment, and the
+// -policy flag of the CLIs.
+//
+// Policies work in plain float64 seconds; the live runtime converts to
+// time.Duration at its edge. All Policy methods must be safe for the
+// concurrent access pattern of the live runtime: many readers of TS/Rho at
+// any time, but ObserveCycle(q, ...) serialised per queue by the caller
+// (only the thread holding queue q's trylock observes its cycles).
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Rand is the slice of randomness a policy may consume; xrand.Rand
+// satisfies it in the sim, and the live runtime passes its per-goroutine
+// generator.
+type Rand interface {
+	// Intn returns a uniform int in [0, n).
+	Intn(n int) int
+}
+
+// Config parameterises a policy for one deployment.
+type Config struct {
+	// VBar is the target mean vacation period in seconds.
+	VBar float64
+	// TL is the backup (long) timeout in seconds.
+	TL float64
+	// TSFixed is the constant short timeout of the fixed discipline; zero
+	// falls back to VBar.
+	TSFixed float64
+	// M is the number of retrieval threads, N the number of Rx queues.
+	M, N int
+	// Alpha is the EWMA smoothing of the load estimator (eq. 11);
+	// zero takes the paper's 0.125.
+	Alpha float64
+	// BackupSticky makes a losing thread re-contend the same queue
+	// instead of re-targeting a random one (the anti-Sec. IV-E strawman).
+	BackupSticky bool
+}
+
+func (c Config) normalized() Config {
+	if c.M < 1 {
+		c.M = 1
+	}
+	if c.N < 1 {
+		c.N = 1
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.125
+	}
+	return c
+}
+
+// Policy is one sleep&wake scheduling discipline.
+type Policy interface {
+	// Name is the registry identifier ("adaptive", "fixed", "busypoll").
+	Name() string
+	// TS returns queue q's current short timeout in seconds.
+	TS(q int) float64
+	// TL returns the long timeout a thread sleeps after losing the
+	// trylock race on queue q, in seconds.
+	TL(q int) float64
+	// Rho returns queue q's current load estimate.
+	Rho(q int) float64
+	// ObserveCycle folds one completed service cycle of queue q (busy and
+	// vacation in seconds) into the load estimate and returns the
+	// re-evaluated short timeout the serving thread should sleep.
+	ObserveCycle(q int, busy, vacation float64) float64
+	// PickBackupQueue returns the queue a lost-race thread should contend
+	// at its next wakeup.
+	PickBackupQueue(cur int, rng Rand) int
+	// Estimator exposes the underlying load estimator (observability and
+	// test seeding).
+	Estimator() *RhoEstimator
+}
+
+// Factory builds a policy instance for a deployment.
+type Factory func(Config) Policy
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a policy under name; later registrations of the same
+// name win, so applications can override the built-ins.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+}
+
+// New builds the named policy; an empty name means the default adaptive
+// discipline.
+func New(name string, cfg Config) (Policy, error) {
+	if name == "" {
+		name = NameAdaptive
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// MustNew is New for configurations known at compile time; it panics on an
+// unknown name.
+func MustNew(name string, cfg Config) Policy {
+	p, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists the registered policies, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// base carries the state every built-in discipline shares: the config, the
+// load estimator, and the cached per-queue TS.
+type base struct {
+	cfg Config
+	est *RhoEstimator
+	ts  []atomicF64
+}
+
+func newBase(cfg Config) base {
+	cfg = cfg.normalized()
+	return base{
+		cfg: cfg,
+		est: NewRhoEstimator(cfg.N, cfg.Alpha),
+		ts:  make([]atomicF64, cfg.N),
+	}
+}
+
+// TS returns the cached short timeout of queue q.
+func (b *base) TS(q int) float64 { return b.ts[q].Load() }
+
+// TL returns the configured backup timeout.
+func (b *base) TL(q int) float64 { return b.cfg.TL }
+
+// Rho returns queue q's load estimate.
+func (b *base) Rho(q int) float64 { return b.est.Rho(q) }
+
+// Estimator exposes the shared estimator.
+func (b *base) Estimator() *RhoEstimator { return b.est }
+
+// PickBackupQueue implements the Sec. IV-E random re-targeting (or the
+// sticky strawman when configured).
+func (b *base) PickBackupQueue(cur int, rng Rand) int {
+	if b.cfg.N <= 1 || b.cfg.BackupSticky {
+		return cur
+	}
+	return rng.Intn(b.cfg.N)
+}

@@ -34,6 +34,7 @@ import (
 	"metronome/internal/packet"
 	"metronome/internal/ring"
 	"metronome/internal/runtime"
+	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/traffic"
 	"metronome/internal/xrand"
@@ -84,6 +85,43 @@ func NewRing(capacity int) (*Ring, error) {
 func NewRunner(queues []RxQueue, handler Handler, cfg RunnerConfig) *Runner {
 	return runtime.New(queues, handler, cfg)
 }
+
+// --- scheduling policies -----------------------------------------------------
+
+// Both the simulation twin (SimConfig.Policy) and the real-time runtime
+// (RunnerConfig.Policy) select their sleep&wake discipline by name from the
+// sched registry; the same Policy implementation drives both substrates.
+type (
+	// SchedPolicy is one sleep&wake scheduling discipline: timeout
+	// selection, load estimation, and backup queue choice.
+	SchedPolicy = sched.Policy
+	// SchedConfig parameterises a policy for one deployment.
+	SchedConfig = sched.Config
+	// RhoEstimator is the shared per-queue EWMA load estimator (eq. 11).
+	RhoEstimator = sched.RhoEstimator
+)
+
+// Built-in policy names for SimConfig.Policy / RunnerConfig.Policy.
+const (
+	// PolicyAdaptive is the paper's eq. (13)/(14) discipline.
+	PolicyAdaptive = sched.NameAdaptive
+	// PolicyFixed sleeps a constant short timeout.
+	PolicyFixed = sched.NameFixed
+	// PolicyBusyPoll never sleeps — classic DPDK polling (Listing 1).
+	PolicyBusyPoll = sched.NameBusyPoll
+)
+
+// NewPolicy instantiates a registered scheduling discipline by name.
+func NewPolicy(name string, cfg SchedConfig) (SchedPolicy, error) { return sched.New(name, cfg) }
+
+// RegisterPolicy installs a custom discipline; it becomes selectable by
+// name in the simulator, the live runtime, the experiments and the CLIs.
+func RegisterPolicy(name string, factory func(SchedConfig) SchedPolicy) {
+	sched.Register(name, factory)
+}
+
+// PolicyNames lists the registered disciplines.
+func PolicyNames() []string { return sched.Names() }
 
 // --- analytical model ---------------------------------------------------------
 
