@@ -21,13 +21,20 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
-		list   = flag.Bool("list", false, "list available experiments")
-		quick  = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
-		seed   = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
-		policy = flag.String("policy", "", "re-run deployments under this scheduling discipline: "+strings.Join(sched.Names(), "|"))
+		run      = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		quick    = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
+		seed     = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
+		policy   = flag.String("policy", "", "re-run deployments under this scheduling discipline: "+strings.Join(sched.Names(), "|"))
+		parallel = flag.Int("parallel", 0, "simulations to run concurrently per sweep (0 = GOMAXPROCS); output is identical at any setting")
+		doc      = flag.Bool("doc", false, "print the EXPERIMENTS.md paper-vs-measured skeleton and exit")
 	)
 	flag.Parse()
+
+	if *doc {
+		experiments.Doc(os.Stdout)
+		return
+	}
 
 	if *policy != "" {
 		if _, err := sched.New(*policy, sched.Config{}); err != nil {
@@ -48,7 +55,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Policy: *policy}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Policy: *policy, Parallel: *parallel}
 	if *run == "all" {
 		for _, e := range experiments.All() {
 			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)

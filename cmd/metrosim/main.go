@@ -12,29 +12,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"metronome"
 	"metronome/internal/core"
+	"metronome/internal/experiments"
 	"metronome/internal/sched"
 	"metronome/internal/trace"
 )
 
 func main() {
 	var (
-		gbps    = flag.Float64("gbps", 0, "offered load in Gbit/s of 64B frames (overrides -mpps)")
-		mpps    = flag.Float64("mpps", 14.88, "offered load in Mpps")
-		m       = flag.Int("m", 3, "number of Metronome threads")
-		queues  = flag.Int("queues", 1, "number of Rx queues (load split evenly)")
-		vbar    = flag.Duration("vbar", 10*time.Microsecond, "target vacation period")
-		tl      = flag.Duration("tl", 500*time.Microsecond, "backup (long) timeout")
-		mu      = flag.Float64("mu", 29.76, "service rate, Mpps (l3fwd=29.76, ipsec=5.61, flowatcher=28)")
-		d       = flag.Duration("dur", time.Second, "virtual duration to simulate")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		policy  = flag.String("policy", "", "scheduling discipline: "+strings.Join(sched.Names(), "|")+" (default adaptive)")
-		fixed   = flag.Duration("fixed-ts", 0, "use the fixed discipline with this TS (shorthand for -policy fixed)")
-		doTrace = flag.Bool("trace", false, "print a 1ms thread-state timeline (Fig 3 style)")
+		gbps     = flag.Float64("gbps", 0, "offered load in Gbit/s of 64B frames (overrides -mpps)")
+		mpps     = flag.Float64("mpps", 14.88, "offered load in Mpps")
+		m        = flag.Int("m", 3, "number of Metronome threads")
+		queues   = flag.Int("queues", 1, "number of Rx queues (load split evenly)")
+		vbar     = flag.Duration("vbar", 10*time.Microsecond, "target vacation period")
+		tl       = flag.Duration("tl", 500*time.Microsecond, "backup (long) timeout")
+		mu       = flag.Float64("mu", 29.76, "service rate, Mpps (l3fwd=29.76, ipsec=5.61, flowatcher=28)")
+		d        = flag.Duration("dur", time.Second, "virtual duration to simulate")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		policy   = flag.String("policy", "", "scheduling discipline: "+strings.Join(sched.Names(), "|")+" (default adaptive)")
+		fixed    = flag.Duration("fixed-ts", 0, "use the fixed discipline with this TS (shorthand for -policy fixed)")
+		doTrace  = flag.Bool("trace", false, "print a 1ms thread-state timeline (Fig 3 style)")
+		runs     = flag.Int("runs", 1, "independent replicas over seeds seed..seed+runs-1 (summary table + mean row)")
+		parallel = flag.Int("parallel", 0, "replicas to simulate concurrently (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,15 @@ func main() {
 		arrivals[i] = metronome.CBR{PPS: pps / float64(*queues)}
 	}
 
+	if *runs > 1 {
+		if *doTrace {
+			fmt.Fprintln(os.Stderr, "metrosim: -trace applies to single runs only")
+			os.Exit(1)
+		}
+		runReplicas(cfg, arrivals, *d, *runs, *parallel, pps, *queues)
+		return
+	}
+
 	var rec *trace.Recorder
 	if *doTrace {
 		// record a 1ms window from the middle of the run
@@ -101,4 +114,43 @@ func main() {
 	for q := range arrivals {
 		fmt.Printf("queue %d:        rho=%.3f  TS=%.2f us\n", q, met.RhoEst[q], met.TSNow[q]*1e6)
 	}
+}
+
+// runReplicas simulates the same deployment across consecutive seeds on a
+// bounded worker pool and prints one summary row per seed plus the mean —
+// the quickest read on run-to-run variance for a design point. Results are
+// collected by seed index, so output is identical at any -parallel.
+func runReplicas(cfg metronome.SimConfig, arrivals []metronome.Traffic, d time.Duration, runs, parallel int, pps float64, queues int) {
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	mets := experiments.ParMap(workers, runs, func(i int) metronome.SimMetrics {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		return metronome.Simulate(c, arrivals, d)
+	})
+
+	fmt.Printf("offered:  %.2f Mpps over %d queue(s), %v x %d seeds, policy %s, %d worker(s)\n",
+		pps/1e6, queues, d, runs, core.PolicyName(cfg), workers)
+	fmt.Printf("%-6s %10s %9s %9s %10s %12s %12s\n",
+		"seed", "tput_mpps", "cpu_pct", "V_us", "lat_us", "busy_tries%", "loss_permille")
+	var tput, cpu, vac, lat, bt, loss float64
+	for i, m := range mets {
+		fmt.Printf("%-6d %10.2f %9.1f %9.2f %10.2f %12.1f %12.4f\n",
+			cfg.Seed+uint64(i), m.ThroughputPPS/1e6, m.CPUPercent, m.MeanVacation*1e6,
+			m.Latency.Mean*1e6, m.BusyTryFrac*100, m.LossRate*1000)
+		tput += m.ThroughputPPS
+		cpu += m.CPUPercent
+		vac += m.MeanVacation
+		lat += m.Latency.Mean
+		bt += m.BusyTryFrac
+		loss += m.LossRate
+	}
+	n := float64(runs)
+	fmt.Printf("%-6s %10.2f %9.1f %9.2f %10.2f %12.1f %12.4f\n",
+		"mean", tput/n/1e6, cpu/n, vac/n*1e6, lat/n*1e6, bt/n*100, loss/n*1000)
 }

@@ -128,6 +128,21 @@ type thread struct {
 	wake  *cpu.WakeModel
 	rng   *xrand.Rand
 	queue int // queue to contend at next wakeup
+
+	// In-flight cycle state for the pre-bound callbacks below, valid while
+	// the thread holds its queue's lock (each thread has at most one
+	// pending timer, so one set of fields suffices).
+	vacation     float64
+	serviceStart float64
+	sliceEnd     float64
+
+	// Callbacks bound once in New: the wakeup/serve/release hot path
+	// schedules them directly instead of allocating a capturing closure
+	// per cycle, which together with the engine's event free list makes
+	// steady-state ticks allocation-free.
+	wakeFn    func()
+	serveFn   func()
+	releaseFn func()
 }
 
 // Runtime executes Metronome over a set of queues.
@@ -197,6 +212,15 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 			wcfg = over
 		}
 		th.wake = cpu.NewWakeModel(hrtimer.NewModel(cfg.Sleep, th.rng.Split()), wcfg, th.rng.Split())
+		th.wakeFn = func() { r.wakeup(th) }
+		th.serveFn = func() {
+			r.Queues[th.queue].Retune(r.noisyMu(th))
+			r.serveSlices(th, th.sliceEnd)
+		}
+		th.releaseFn = func() {
+			r.Queues[th.queue].EndService(th.sliceEnd)
+			r.finishCycle(th)
+		}
 		r.threads = append(r.threads, th)
 		r.Acct.SetName(i, fmt.Sprintf("metronome-%d", i))
 	}
@@ -234,9 +258,8 @@ func policyConfig(cfg Config, n int) sched.Config {
 // sequentially; the decorrelation of Sec. IV-B takes over from there).
 func (r *Runtime) Start() {
 	for _, th := range r.threads {
-		th := th
 		first := th.rng.Uniform(0, r.policy.TS(th.queue)+1e-9)
-		r.Eng.After(first, "metronome-first-wake", func() { r.wakeup(th) })
+		r.Eng.After(first, "metronome-first-wake", th.wakeFn)
 	}
 }
 
@@ -282,19 +305,17 @@ func (r *Runtime) wakeup(th *thread) {
 	}
 	r.locked[q] = true
 	queue := r.Queues[q]
-	vacation := now - r.lastRelease[q]
+	th.vacation = now - r.lastRelease[q]
+	th.serviceStart = now
 	nv := queue.BeginService(now, r.noisyMu(th))
 	if nv == 0 {
 		// Empty poll: pay one rx_burst, release, stay primary.
 		r.Acct.AddBusy(th.id, r.Cfg.PollCost)
-		end := now + r.Cfg.PollCost
-		r.Eng.At(end, "metronome-empty-poll", func() {
-			queue.EndService(end)
-			r.finishCycle(th, q, vacation, now, end)
-		})
+		th.sliceEnd = now + r.Cfg.PollCost
+		r.Eng.At(th.sliceEnd, "metronome-empty-poll", th.releaseFn)
 		return
 	}
-	r.serveSlices(th, q, vacation, now, now)
+	r.serveSlices(th, now)
 }
 
 // noisyMu draws the per-slice effective service rate: frequency-scaled and
@@ -313,40 +334,38 @@ func (r *Runtime) noisyMu(th *thread) float64 {
 
 // serveSlices advances the busy period slice by slice so that overload and
 // time-varying arrival rates stay observable; the service rate is re-drawn
-// each slice so noise averages out over long busy periods.
-func (r *Runtime) serveSlices(th *thread, q int, vacation, serviceStart, sliceStart float64) {
-	queue := r.Queues[q]
+// each slice (th.serveFn) so noise averages out over long busy periods.
+// The serving thread owns th.queue until finishCycle, so the pre-bound
+// callbacks read the cycle state back off the thread.
+func (r *Runtime) serveSlices(th *thread, sliceStart float64) {
+	queue := r.Queues[th.queue]
 	done, end := queue.ServeSlice(r.Cfg.MaxSlice)
 	r.Acct.AddBusy(th.id, end-sliceStart)
+	th.sliceEnd = end
 	if !done {
-		r.Eng.At(end, "metronome-serve", func() {
-			queue.Retune(r.noisyMu(th))
-			r.serveSlices(th, q, vacation, serviceStart, end)
-		})
+		r.Eng.At(end, "metronome-serve", th.serveFn)
 		return
 	}
-	r.Eng.At(end, "metronome-release", func() {
-		queue.EndService(end)
-		r.finishCycle(th, q, vacation, serviceStart, end)
-	})
+	r.Eng.At(end, "metronome-release", th.releaseFn)
 }
 
 // finishCycle releases the lock, hands the cycle to the policy engine —
 // which folds it into the load estimate and re-evaluates TS — and puts the
 // thread back to sleep as the (new) primary of this queue.
-func (r *Runtime) finishCycle(th *thread, q int, vacation, serviceStart, now float64) {
-	busy := now - serviceStart
+func (r *Runtime) finishCycle(th *thread) {
+	q := th.queue
+	now := th.sliceEnd
+	busy := now - th.serviceStart
 	r.locked[q] = false
 	r.lastRelease[q] = now
 	r.Cycles.Inc()
-	ts := r.policy.ObserveCycle(q, busy, vacation)
+	ts := r.policy.ObserveCycle(q, busy, th.vacation)
 	if r.Cfg.OnCycle != nil {
-		r.Cfg.OnCycle(q, vacation, busy)
+		r.Cfg.OnCycle(q, th.vacation, busy)
 	}
 	if r.Cfg.Tracer != nil {
 		r.Cfg.Tracer.Release(now, th.id, q, busy)
 	}
-	th.queue = q // primaries re-contend the queue they just drained
 	r.sleepTraced(th, ts, false)
 }
 
@@ -367,11 +386,11 @@ func (r *Runtime) sleep(th *thread, req float64) {
 			spin = 100e-9
 			r.Acct.AddBusy(th.id, spin)
 		}
-		r.Eng.After(spin, "metronome-spin", func() { r.wakeup(th) })
+		r.Eng.After(spin, "metronome-spin", th.wakeFn)
 		return
 	}
 	delay := th.wake.Delay(req, th.core)
-	r.Eng.After(delay, "metronome-wake", func() { r.wakeup(th) })
+	r.Eng.After(delay, "metronome-wake", th.wakeFn)
 }
 
 func (r *Runtime) sleepTraced(th *thread, req float64, backup bool) {
@@ -423,9 +442,7 @@ func (r *Runtime) Snapshot(wall float64) Metrics {
 		vac.Merge(&queue.VacObs)
 		busy.Merge(&queue.BusyObs)
 		nv.Merge(&queue.NVObs)
-		for _, x := range queue.Lat.Values() {
-			lat.Add(x)
-		}
+		lat.Merge(&queue.Lat)
 		m.RhoEst = append(m.RhoEst, r.Rho(q))
 		m.TSNow = append(m.TSNow, r.TS(q))
 	}

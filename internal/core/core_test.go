@@ -389,3 +389,28 @@ func BenchmarkRuntimeLineRate(b *testing.B) {
 		eng.RunUntil(0.05)
 	}
 }
+
+// Steady-state Metronome cycles must not allocate once the engine's free
+// list and the queue's tag buffers are warm: pre-bound thread callbacks
+// plus event recycling leave nothing for the garbage collector on the
+// wakeup/serve/release path. (Latency tagging is disabled: tag appends are
+// the one legitimately amortised allocation.)
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	eng := sim.New()
+	opt := nic.DefaultOptions()
+	opt.TagProb = 0
+	q := nic.NewQueue(0, traffic.CBR{PPS: 14.88e6}, xrand.New(9), opt)
+	r := New(eng, []*nic.Queue{q}, cfg)
+	r.Start()
+	next := 10e-3
+	eng.RunUntil(next) // warm-up: settle adaptation, grow event pools
+	allocs := testing.AllocsPerRun(50, func() {
+		next += 1e-3
+		eng.RunUntil(next)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycles allocate %.1f per ms window, want 0", allocs)
+	}
+}

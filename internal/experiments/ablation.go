@@ -56,18 +56,22 @@ func runAblTimeouts(o Options) []*Table {
 		Title:   "line rate, M=3",
 		Columns: []string{"policy", "busy_tries_pct", "cpu_pct", "loss_permille"},
 	}
-	eq := core.DefaultConfig()
-	eq.Adaptive = false
-	eq.TSFixed = 10e-6
-	eq.TL = 10e-6
-	_, meq := singleQueueCBR(o, eq, traffic.Rate64B(10), d, o.Seed+1300)
-	sp := core.DefaultConfig()
-	// The timeout split IS this experiment's axis: pin the discipline so a
-	// global -policy override cannot mislabel the row.
-	sp.Policy = sched.NameAdaptive
-	_, msp := singleQueueCBR(o, sp, traffic.Rate64B(10), d, o.Seed+1301)
-	t.Rows = append(t.Rows, []string{"equal_TS=TL=10us", pct(meq.BusyTryFrac * 100), pct(meq.CPUPercent), permille(meq.LossRate)})
-	t.Rows = append(t.Rows, []string{"split_TS/TL=500us", pct(msp.BusyTryFrac * 100), pct(msp.CPUPercent), permille(msp.LossRate)})
+	t.Rows = parMap(o, 2, func(i int) []string {
+		if i == 0 {
+			eq := core.DefaultConfig()
+			eq.Adaptive = false
+			eq.TSFixed = 10e-6
+			eq.TL = 10e-6
+			_, meq := singleQueueCBR(o, eq, traffic.Rate64B(10), d, o.Seed+1300)
+			return []string{"equal_TS=TL=10us", pct(meq.BusyTryFrac * 100), pct(meq.CPUPercent), permille(meq.LossRate)}
+		}
+		sp := core.DefaultConfig()
+		// The timeout split IS this experiment's axis: pin the discipline so
+		// a global -policy override cannot mislabel the row.
+		sp.Policy = sched.NameAdaptive
+		_, msp := singleQueueCBR(o, sp, traffic.Rate64B(10), d, o.Seed+1301)
+		return []string{"split_TS/TL=500us", pct(msp.BusyTryFrac * 100), pct(msp.CPUPercent), permille(msp.LossRate)}
+	})
 	return []*Table{t}
 }
 
@@ -78,7 +82,9 @@ func runAblAdaptive(o Options) []*Table {
 		Title:   "mean vacation across loads, target V̄=10us",
 		Columns: []string{"rate_gbps", "adaptive_V_us", "fixed_TS10_V_us"},
 	}
-	for i, gbps := range []float64{10, 5, 1, 0.5} {
+	gbpss := []float64{10, 5, 1, 0.5}
+	t.Rows = parMap(o, len(gbpss), func(i int) []string {
+		gbps := gbpss[i]
 		ad := core.DefaultConfig()
 		// Adaptive-vs-fixed IS this experiment's axis: pin both arms.
 		ad.Policy = sched.NameAdaptive
@@ -87,8 +93,8 @@ func runAblAdaptive(o Options) []*Table {
 		fx.Adaptive = false
 		fx.TSFixed = 10e-6
 		_, mf := singleQueueCBR(o, fx, traffic.Rate64B(gbps), d, o.Seed+uint64(1320+i))
-		t.Rows = append(t.Rows, []string{f1(gbps), us(ma.MeanVacation), us(mf.MeanVacation)})
-	}
+		return []string{f1(gbps), us(ma.MeanVacation), us(mf.MeanVacation)}
+	})
 	t.Notes = append(t.Notes,
 		"fixed TS over-polls at low load (V collapses toward TS/M) where adaptive holds the target",
 	)
@@ -128,31 +134,36 @@ func runAblBackup(o Options) []*Table {
 		}
 		return name, []string{name, pct(m.BusyTryFrac * 100), pct(m.CPUPercent), permille(m.LossRate), f3(maxRho)}
 	}
-	_, r1 := build(false, o.Seed+1330)
-	_, r2 := build(true, o.Seed+1331)
-	t.Rows = append(t.Rows, r1, r2)
+	t.Rows = parMap(o, 2, func(i int) []string {
+		_, row := build(i == 1, o.Seed+uint64(1330+i))
+		return row
+	})
 	return []*Table{t}
 }
 
 func runAblPolicy(o Options) []*Table {
 	d := dur(o, 0.5)
 	var tables []*Table
-	for gi, gbps := range []float64{10, 1} {
+	gbpss := []float64{10, 1}
+	policies := []string{sched.NameAdaptive, sched.NameFixed, sched.NameBusyPoll}
+	rows := parMap(o, len(gbpss)*len(policies), func(j int) []string {
+		gi, pi := j/len(policies), j%len(policies)
+		cfg := core.DefaultConfig()
+		cfg.Policy = policies[pi]
+		cfg.TSFixed = 10e-6 // the fixed discipline pins TS at the target
+		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(gbpss[gi]), d,
+			o.Seed+uint64(1400+10*gi+pi))
+		return []string{
+			policies[pi], pct(m.CPUPercent), us(m.Latency.Mean),
+			us(m.MeanVacation), permille(m.LossRate),
+		}
+	})
+	for gi, gbps := range gbpss {
 		t := &Table{
 			ID:      "abl-policy",
 			Title:   fmt.Sprintf("disciplines at %.0f Gbps, M=3, V̄=10us", gbps),
 			Columns: []string{"policy", "cpu_pct", "lat_mean_us", "measured_V_us", "loss_permille"},
-		}
-		for pi, name := range []string{sched.NameAdaptive, sched.NameFixed, sched.NameBusyPoll} {
-			cfg := core.DefaultConfig()
-			cfg.Policy = name
-			cfg.TSFixed = 10e-6 // the fixed discipline pins TS at the target
-			_, m := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d,
-				o.Seed+uint64(1400+10*gi+pi))
-			t.Rows = append(t.Rows, []string{
-				name, pct(m.CPUPercent), us(m.Latency.Mean),
-				us(m.MeanVacation), permille(m.LossRate),
-			})
+			Rows:    rows[gi*len(policies) : (gi+1)*len(policies)],
 		}
 		t.Notes = append(t.Notes,
 			"busypoll is Listing 1 inside the shared engine: ~100% CPU per thread, vacation ~ the wake overhead",
@@ -169,15 +180,16 @@ func runAblTxBatch(o Options) []*Table {
 		Title:   "1 Gbps, V̄=10us",
 		Columns: []string{"tx_batch", "lat_mean_us", "lat_std_us", "lat_max_us", "cpu_pct"},
 	}
-	for _, batch := range []int{32, 1} {
-		batch := batch
+	batches := []int{32, 1}
+	t.Rows = parMap(o, len(batches), func(i int) []string {
+		batch := batches[i]
 		cfg := core.DefaultConfig()
 		// batch=1 costs a few percent CPU at the NIC (Sec. V-C reports
 		// 2-3% at line rate); charge it through a slightly lower mu.
 		if batch == 1 {
 			cfg.Mu *= 0.97
 		}
-		rt, m := runMetronome(runSpec{
+		_, m := runMetronome(runSpec{
 			cfg:    cfg,
 			policy: overridePolicy(o, cfg),
 			optFn:  func(opt *nic.Options) { opt.TxBatch = batch },
@@ -185,11 +197,10 @@ func runAblTxBatch(o Options) []*Table {
 			dur:    d, warmup: d * 0.2,
 			seed: o.Seed + uint64(1340+batch),
 		})
-		_ = rt
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", batch), us(m.Latency.Mean), us(m.LatencyStd), us(m.Latency.Max), pct(m.CPUPercent),
-		})
-	}
+		}
+	})
 	return []*Table{t}
 }
 
@@ -200,11 +211,12 @@ func runAblSleep(o Options) []*Table {
 		Title:   "line rate, M=3, V̄=10us",
 		Columns: []string{"service", "measured_V_us", "lat_mean_us", "cpu_pct"},
 	}
-	for i, svc := range []hrtimer.Service{hrtimer.HRSleep, hrtimer.Nanosleep, hrtimer.HRSleepPatched} {
+	services := []hrtimer.Service{hrtimer.HRSleep, hrtimer.Nanosleep, hrtimer.HRSleepPatched}
+	t.Rows = parMap(o, len(services), func(i int) []string {
 		cfg := core.DefaultConfig()
-		cfg.Sleep = svc
+		cfg.Sleep = services[i]
 		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(1350+i))
-		t.Rows = append(t.Rows, []string{svc.String(), us(m.MeanVacation), us(m.Latency.Mean), pct(m.CPUPercent)})
-	}
+		return []string{services[i].String(), us(m.MeanVacation), us(m.Latency.Mean), pct(m.CPUPercent)}
+	})
 	return []*Table{t}
 }

@@ -36,6 +36,7 @@ func runFig16(o Options) []*Table {
 		{flowatcher.New(), flowatcherRates},
 	}
 	for ci, c := range cases {
+		ci, c := ci, c
 		mu := apps.ServiceRate(c.proc, 2.1)
 		t := &Table{
 			ID:    fmt.Sprintf("fig16-%s", c.proc.Name()),
@@ -44,18 +45,19 @@ func runFig16(o Options) []*Table {
 				"rate_mpps", "static_cpu_pct", "metronome_cpu_pct", "met_tput_mpps", "loss_permille",
 			},
 		}
-		for i, rate := range c.rates {
+		t.Rows = parMap(o, len(c.rates), func(i int) []string {
+			rate := c.rates[i]
 			cfg := core.DefaultConfig()
 			cfg.Mu = mu
 			_, m := singleQueueCBR(o, cfg, rate, d, o.Seed+uint64(1200+ci*10+i))
 			st := baseline.DefaultStatic()
 			st.Mu = mu
 			sres := baseline.Static(st, rate)
-			t.Rows = append(t.Rows, []string{
+			return []string{
 				mpps(rate), pct(sres.CPUPercent), pct(m.CPUPercent),
 				mpps(m.ThroughputPPS), permille(m.LossRate),
-			})
-		}
+			}
+		})
 		tables = append(tables, t)
 	}
 	tables[0].Notes = append(tables[0].Notes,

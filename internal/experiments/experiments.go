@@ -9,8 +9,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"metronome/internal/core"
 	"metronome/internal/cpu"
@@ -32,6 +35,65 @@ type Options struct {
 	// for every deployment that does not pin its own — the metrobench
 	// -policy flag, letting any experiment re-run under fixed or busypoll.
 	Policy string
+	// Parallel bounds how many independent simulations a sweep experiment
+	// runs concurrently; 0 means GOMAXPROCS. Each row/series point is a
+	// self-contained deterministic simulation (own engine, RNG streams and
+	// queues) with a seed fixed by its index, and results are collected by
+	// index, so the rendered tables are byte-identical at any parallelism.
+	Parallel int
+}
+
+// workers resolves the effective worker-pool size.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParMap evaluates fn(0..n-1) on a bounded worker pool (workers <= 0
+// means GOMAXPROCS) and returns the results in index order. With one
+// worker it degenerates to a plain loop on the calling goroutine. fn must
+// be self-contained: every simulation it launches owns its engine, queues
+// and RNG streams, and its seed must derive from i (never from shared
+// mutable state), which is what keeps a sweep deterministic under any
+// interleaving. Exported so CLIs (metrosim -runs) share the same pool.
+func ParMap[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// parMap is ParMap under an experiment's Options.
+func parMap[T any](o Options, n int, fn func(i int) T) []T {
+	return ParMap(o.workers(), n, fn)
 }
 
 // Table is one rendered artifact (a paper table, or one panel of a figure).
@@ -110,6 +172,35 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// Doc writes the EXPERIMENTS.md paper-vs-measured skeleton, generated from
+// the registry's Paper fields so the document can never drift from the
+// experiments that actually exist. Regenerate with:
+//
+//	go run ./cmd/metrobench -doc > EXPERIMENTS.md
+func Doc(w io.Writer) {
+	fmt.Fprint(w, `# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (Sec. V) is regenerated by
+a registered experiment in `+"`internal/experiments`"+`. This index is
+generated from that registry (`+"`go run ./cmd/metrobench -doc`"+`); the
+"paper" lines quote what the original artifact reports, and each
+"reproduce" command prints the measured counterpart as an aligned text
+table. Runs are deterministic per seed, at any `+"`-parallel`"+` setting.
+
+Full sweep: `+"`go run ./cmd/metrobench -run all`"+` (append `+"`-quick`"+`
+for a ~10x faster smoke pass with wider confidence intervals). The same
+registry backs `+"`bench_test.go`"+`, so `+"`go test -bench=.`"+` doubles
+as the whole reproduction with headline quantities as benchmark metrics.
+
+`)
+	for _, e := range All() {
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "- **Paper:** %s\n", e.Paper)
+		fmt.Fprintf(w, "- **Reproduce:** `go run ./cmd/metrobench -run %s`\n", e.ID)
+		fmt.Fprintf(w, "- **Measured:** _run the command above and paste the headline rows here_\n\n")
+	}
 }
 
 // --- shared runners --------------------------------------------------------

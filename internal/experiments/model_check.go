@@ -32,30 +32,29 @@ func runAblPoisson(o Options) []*Table {
 			"rate_mpps", "process", "mean_V_us", "lat_mean_us", "cpu_pct", "loss_permille",
 		},
 	}
-	for i, pps := range []float64{14.88e6, 7.44e6, 1.488e6} {
-		for j, mk := range []struct {
-			name string
-			p    traffic.Process
-		}{
-			{"cbr", traffic.CBR{PPS: pps}},
-			{"poisson", traffic.Poisson{Lambda: pps}},
-		} {
-			cfg := core.DefaultConfig()
-			rt, m := runMetronome(runSpec{
-				cfg:    cfg,
-				policy: overridePolicy(o, cfg),
-				procs:  []traffic.Process{mk.p},
-				dur:    d,
-				warmup: d * 0.2,
-				seed:   o.Seed + uint64(1500+10*i+j),
-			})
-			_ = rt
-			t.Rows = append(t.Rows, []string{
-				mpps(pps), mk.name, us(m.MeanVacation), us(m.Latency.Mean),
-				pct(m.CPUPercent), permille(m.LossRate),
-			})
+	ppss := []float64{14.88e6, 7.44e6, 1.488e6}
+	names := []string{"cbr", "poisson"}
+	t.Rows = parMap(o, len(ppss)*len(names), func(k int) []string {
+		i, j := k/len(names), k%len(names)
+		pps := ppss[i]
+		var p traffic.Process = traffic.CBR{PPS: pps}
+		if j == 1 {
+			p = traffic.Poisson{Lambda: pps}
 		}
-	}
+		cfg := core.DefaultConfig()
+		_, m := runMetronome(runSpec{
+			cfg:    cfg,
+			policy: overridePolicy(o, cfg),
+			procs:  []traffic.Process{p},
+			dur:    d,
+			warmup: d * 0.2,
+			seed:   o.Seed + uint64(1500+10*i+j),
+		})
+		return []string{
+			mpps(pps), names[j], us(m.MeanVacation), us(m.Latency.Mean),
+			pct(m.CPUPercent), permille(m.LossRate),
+		}
+	})
 	t.Notes = append(t.Notes,
 		"Poisson burstiness adds modest latency variance but the CPU and V shapes are process-agnostic",
 	)
@@ -76,7 +75,9 @@ func runAblBlend(o Options) []*Table {
 		m     = 3
 	)
 	tsEff := tsReq*1.0566 + 2.79e-6
-	for i, pps := range []float64{14.88e6, 11e6, 7.44e6, 3.7e6, 1.5e6, 0.3e6} {
+	ppss := []float64{14.88e6, 11e6, 7.44e6, 3.7e6, 1.5e6, 0.3e6}
+	t.Rows = parMap(o, len(ppss), func(i int) []string {
+		pps := ppss[i]
 		cfg := core.DefaultConfig()
 		cfg.M = m
 		cfg.Adaptive = false
@@ -91,10 +92,10 @@ func runAblBlend(o Options) []*Table {
 		rho := rt.Rho(0)
 		pred := model.EVGeneralApprox(tsEff, m, model.PrimaryProb(rho))
 		ratio := met.MeanVacation / pred
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			mpps(pps), f3(rho), us(met.MeanVacation), us(pred), fmt.Sprintf("%.2f", ratio),
-		})
-	}
+		}
+	})
 	t.Notes = append(t.Notes,
 		"eq (10) assumes every non-owner is independently primary with p=1-rho;",
 		"the dynamics keep more threads in backup at mid load, so measured V runs above the blend there —",

@@ -61,29 +61,48 @@ func multiqueueSpec(o Options, nq, m int, totalPPS, d float64, seedOff uint64) r
 func runFig13(o Options) []*Table {
 	d := dur(o, 0.6)
 	pc := power.DefaultConfig()
-	var tables []*Table
+	// Flatten governor x queue-count x thread-count into one job list: each
+	// point is an independent governor fixed-point (up to 6 simulations), so
+	// this is the sweep that profits most from the worker pool.
+	type point struct {
+		gov power.Governor
+		nq  int
+		m   int
+	}
+	var pts []point
 	for _, gov := range []power.Governor{power.Performance, power.Ondemand} {
 		for _, nq := range []int{2, 3, 4} {
-			t := &Table{
-				ID:    fmt.Sprintf("fig13-%dq-%s", nq, gov),
-				Title: fmt.Sprintf("%d queues, %s governor, 37 Mpps", nq, gov),
-				Columns: []string{
-					"threads", "cpu_pct", "power_w", "static_cpu_pct", "static_power_w",
-				},
-			}
 			for m := nq; m <= 8; m++ {
-				spec := multiqueueSpec(o, nq, m, xl710Rate, d, uint64(800+nq*10+m))
-				met, watts, _ := governorPower(pc, gov, spec)
-				t.Rows = append(t.Rows, []string{
-					fmt.Sprintf("%d", m),
-					pct(met.CPUPercent),
-					f1(watts),
-					pct(100 * float64(nq)),
-					f1(staticPower(pc, gov, nq)),
-				})
+				pts = append(pts, point{gov, nq, m})
 			}
-			tables = append(tables, t)
 		}
+	}
+	rows := parMap(o, len(pts), func(i int) []string {
+		p := pts[i]
+		spec := multiqueueSpec(o, p.nq, p.m, xl710Rate, d, uint64(800+p.nq*10+p.m))
+		met, watts, _ := governorPower(pc, p.gov, spec)
+		return []string{
+			fmt.Sprintf("%d", p.m),
+			pct(met.CPUPercent),
+			f1(watts),
+			pct(100 * float64(p.nq)),
+			f1(staticPower(pc, p.gov, p.nq)),
+		}
+	})
+	var tables []*Table
+	for i := 0; i < len(pts); {
+		p := pts[i]
+		t := &Table{
+			ID:    fmt.Sprintf("fig13-%dq-%s", p.nq, p.gov),
+			Title: fmt.Sprintf("%d queues, %s governor, 37 Mpps", p.nq, p.gov),
+			Columns: []string{
+				"threads", "cpu_pct", "power_w", "static_cpu_pct", "static_power_w",
+			},
+		}
+		for ; i < len(pts) && pts[i].gov == p.gov && pts[i].nq == p.nq; i++ {
+			t.Rows = append(t.Rows, rows[i])
+		}
+		tables = append(tables, t)
 	}
 	return tables
 }
@@ -91,8 +110,29 @@ func runFig13(o Options) []*Table {
 func runFig14(o Options) []*Table {
 	d := dur(o, 0.6)
 	pc := power.DefaultConfig()
-	var tables []*Table
+	type point struct{ nq, m int }
+	var pts []point
 	for _, nq := range []int{2, 3, 4} {
+		for m := nq; m <= 8; m++ {
+			pts = append(pts, point{nq, m})
+		}
+	}
+	rows := parMap(o, len(pts), func(i int) []string {
+		p := pts[i]
+		specP := multiqueueSpec(o, p.nq, p.m, xl710Rate, d, uint64(900+p.nq*10+p.m))
+		_, mp := runMetronome(specP)
+		// ondemand: rerun at the governor's frequency fixed point.
+		specO := multiqueueSpec(o, p.nq, p.m, xl710Rate, d, uint64(900+p.nq*10+p.m))
+		mo, _, _ := governorPower(pc, power.Ondemand, specO)
+		return []string{
+			fmt.Sprintf("%d", p.m),
+			pct(mp.BusyTryFrac * 100), f3(meanOf(mp.RhoEst)),
+			pct(mo.BusyTryFrac * 100), f3(meanOf(mo.RhoEst)),
+		}
+	})
+	var tables []*Table
+	for i := 0; i < len(pts); {
+		nq := pts[i].nq
 		t := &Table{
 			ID:    fmt.Sprintf("fig14-%dq", nq),
 			Title: fmt.Sprintf("busy tries and rho, %d queues, 37 Mpps", nq),
@@ -100,17 +140,8 @@ func runFig14(o Options) []*Table {
 				"threads", "busy_tries_pct_perf", "rho_perf", "busy_tries_pct_od", "rho_od",
 			},
 		}
-		for m := nq; m <= 8; m++ {
-			specP := multiqueueSpec(o, nq, m, xl710Rate, d, uint64(900+nq*10+m))
-			_, mp := runMetronome(specP)
-			// ondemand: rerun at the governor's frequency fixed point.
-			specO := multiqueueSpec(o, nq, m, xl710Rate, d, uint64(900+nq*10+m))
-			mo, _, _ := governorPower(pc, power.Ondemand, specO)
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", m),
-				pct(mp.BusyTryFrac * 100), f3(meanOf(mp.RhoEst)),
-				pct(mo.BusyTryFrac * 100), f3(meanOf(mo.RhoEst)),
-			})
+		for ; i < len(pts) && pts[i].nq == nq; i++ {
+			t.Rows = append(t.Rows, rows[i])
 		}
 		tables = append(tables, t)
 	}
@@ -130,15 +161,16 @@ func runFig15(o Options) []*Table {
 			"rate_mpps", "met_cpu_pct", "met_power_w", "static_cpu_pct", "static_power_w", "loss_permille",
 		},
 	}
-	for i, rate := range []float64{37e6, 30e6, 20e6, 15e6, 10e6, 0} {
-		spec := multiqueueSpec(o, 4, 5, rate, d, uint64(1000+i))
+	ratesPPS := []float64{37e6, 30e6, 20e6, 15e6, 10e6, 0}
+	t.Rows = parMap(o, len(ratesPPS), func(i int) []string {
+		spec := multiqueueSpec(o, 4, 5, ratesPPS[i], d, uint64(1000+i))
 		met, watts, _ := governorPower(pc, power.Performance, spec)
-		t.Rows = append(t.Rows, []string{
-			mpps(rate), pct(met.CPUPercent), f1(watts),
+		return []string{
+			mpps(ratesPPS[i]), pct(met.CPUPercent), f1(watts),
 			"400.0", f1(staticPower(pc, power.Performance, 4)),
 			permille(met.LossRate),
-		})
-	}
+		}
+	})
 	return []*Table{t}
 }
 

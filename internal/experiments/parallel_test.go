@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		var calls atomic.Int64
+		out := parMap(Options{Parallel: workers}, 37, func(i int) int {
+			calls.Add(1)
+			return i * i
+		})
+		if calls.Load() != 37 {
+			t.Fatalf("workers=%d: fn called %d times, want 37", workers, calls.Load())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, results not index-ordered", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestParMapZeroJobs(t *testing.T) {
+	out := parMap(Options{Parallel: 4}, 0, func(i int) int { return i })
+	if len(out) != 0 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+// renderAll flattens an experiment's tables to the exact bytes metrobench
+// would print.
+func renderAll(tabs []*Table) string {
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		tab.Render(&buf)
+	}
+	return buf.String()
+}
+
+// The acceptance gate for the parallel harness: every sweep renders
+// byte-identical output no matter the worker count, because each point is
+// an index-seeded self-contained simulation and results are collected by
+// index. Covers flattened multi-series sweeps (fig5, fig13), paired-run
+// rows (fig14), and ablations.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	ids := []string{"tab1", "fig5", "fig8", "fig13", "fig14", "abl-poisson", "abl-robust"}
+	if testing.Short() {
+		// CI runs this under -race where every simulation is ~15x slower;
+		// keep one flattened multi-series sweep and one paired-run sweep.
+		ids = []string{"fig5", "fig14"}
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("no experiment %s", id)
+			}
+			seq := renderAll(e.Run(Options{Quick: true, Seed: 42, Parallel: 1}))
+			for _, workers := range []int{4, 16} {
+				par := renderAll(e.Run(Options{Quick: true, Seed: 42, Parallel: workers}))
+				if par != seq {
+					t.Fatalf("parallel=%d output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+						workers, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// Re-running the same experiment with the same seed must be a pure
+// function even when the harness interleaves goroutines differently.
+func TestParallelRepeatability(t *testing.T) {
+	e, _ := ByID("fig15")
+	first := renderAll(e.Run(Options{Quick: true, Seed: 7, Parallel: 8}))
+	for run := 1; run < 3; run++ {
+		if got := renderAll(e.Run(Options{Quick: true, Seed: 7, Parallel: 8})); got != first {
+			t.Fatalf("run %d diverged", run)
+		}
+	}
+}

@@ -64,32 +64,39 @@ func runAblRobust(o Options) []*Table {
 			"config", "hogged_threads", "loss_permille", "tput_mpps", "mean_V_us",
 		},
 	}
-	run := func(name string, m, hogged int, seed uint64) {
+	cases := []struct {
+		name      string
+		m, hogged int
+		seed      uint64
+	}{
+		{"M=1_alone", 1, 0, o.Seed + 1400},
+		{"M=1_hogged", 1, 1, o.Seed + 1401},
+		{"M=3_one_hogged", 3, 1, o.Seed + 1402},
+		{"M=3_all_hogged", 3, 3, o.Seed + 1403},
+	}
+	t.Rows = parMap(o, len(cases), func(ci int) []string {
+		c := cases[ci]
 		cfg := core.DefaultConfig()
-		cfg.M = m
+		cfg.M = c.m
 		// Expected per-thread duty at line rate: rho spread over the team.
-		duty := (traffic.Rate64B(10) / cfg.Mu) / float64(m) * 2 // primaries carry ~2x the average
+		duty := (traffic.Rate64B(10) / cfg.Mu) / float64(c.m) * 2 // primaries carry ~2x the average
 		over := map[int]cpu.WakeConfig{}
-		cores := make([]*cpu.Core, m)
+		cores := make([]*cpu.Core, c.m)
 		for i := range cores {
 			cores[i] = cpu.NewCore(i)
 		}
-		for i := 0; i < hogged && i < m; i++ {
+		for i := 0; i < c.hogged && i < c.m; i++ {
 			over[i] = wakeForDuty(duty)
 			cores[i].BusyWith = 1
 		}
 		cfg.WakeOverrides = over
 		cfg.Cores = cores
-		_, met := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, seed)
-		t.Rows = append(t.Rows, []string{
-			name, fmt.Sprintf("%d", hogged), permille(met.LossRate),
+		_, met := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, c.seed)
+		return []string{
+			c.name, fmt.Sprintf("%d", c.hogged), permille(met.LossRate),
 			mpps(met.ThroughputPPS), us(met.MeanVacation),
-		})
-	}
-	run("M=1_alone", 1, 0, o.Seed+1400)
-	run("M=1_hogged", 1, 1, o.Seed+1401)
-	run("M=3_one_hogged", 3, 1, o.Seed+1402)
-	run("M=3_all_hogged", 3, 3, o.Seed+1403)
+		}
+	})
 	t.Notes = append(t.Notes,
 		"with M=3 the backups absorb the interfered thread's missed wakeups (paper: no loss even with all cores shared)",
 	)

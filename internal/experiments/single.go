@@ -49,15 +49,16 @@ func runTab1(o Options) []*Table {
 			"target_V_us", "measured_V_us", "measured_B_us", "N_V", "loss_permille",
 		},
 	}
-	for i, vbar := range []float64{5e-6, 10e-6, 12e-6, 15e-6, 20e-6} {
+	vbars := []float64{5e-6, 10e-6, 12e-6, 15e-6, 20e-6}
+	t.Rows = parMap(o, len(vbars), func(i int) []string {
 		cfg := core.DefaultConfig()
-		cfg.VBar = vbar
+		cfg.VBar = vbars[i]
 		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(i))
-		t.Rows = append(t.Rows, []string{
-			f1(vbar * 1e6), us(m.MeanVacation), us(m.MeanBusy),
+		return []string{
+			f1(vbars[i] * 1e6), us(m.MeanVacation), us(m.MeanBusy),
 			f2(m.MeanNV), permille(m.LossRate),
-		})
-	}
+		}
+	})
 	t.Notes = append(t.Notes,
 		"paper row V̄=10: V=19.55us B=20.24us N_V=287.77 loss=0",
 		"effective buffering 576 packets: 512-descriptor ring + one FIFO burst (EXPERIMENTS.md)",
@@ -67,23 +68,28 @@ func runTab1(o Options) []*Table {
 
 func runFig5(o Options) []*Table {
 	d := dur(o, 1.0)
+	rates := []float64{10, 5}
+	vbars := []float64{2e-6, 5e-6, 7e-6, 10e-6}
+	// One flat job list across both series: the 10 Gbps and 5 Gbps panels
+	// simulate concurrently.
+	rows := parMap(o, len(rates)*len(vbars), func(j int) []string {
+		gbps, vbar := rates[j/len(vbars)], vbars[j%len(vbars)]
+		cfg := core.DefaultConfig()
+		cfg.VBar = vbar
+		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(100+j%len(vbars)))
+		return []string{
+			f1(vbar * 1e6), us(m.Latency.Mean), us(m.Latency.Q1), us(m.Latency.Q3),
+			pct(m.CPUPercent),
+		}
+	})
 	var tables []*Table
-	for _, gbps := range []float64{10, 5} {
-		t := &Table{
+	for gi, gbps := range rates {
+		tables = append(tables, &Table{
 			ID:      "fig5",
 			Title:   fmt.Sprintf("latency and CPU vs V̄ at %.0f Gbps", gbps),
 			Columns: []string{"target_V_us", "lat_mean_us", "lat_q1_us", "lat_q3_us", "cpu_pct"},
-		}
-		for i, vbar := range []float64{2e-6, 5e-6, 7e-6, 10e-6} {
-			cfg := core.DefaultConfig()
-			cfg.VBar = vbar
-			_, m := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(100+i))
-			t.Rows = append(t.Rows, []string{
-				f1(vbar * 1e6), us(m.Latency.Mean), us(m.Latency.Q1), us(m.Latency.Q3),
-				pct(m.CPUPercent),
-			})
-		}
-		tables = append(tables, t)
+			Rows:    rows[gi*len(vbars) : (gi+1)*len(vbars)],
+		})
 	}
 	return tables
 }
@@ -95,14 +101,15 @@ func runFig6(o Options) []*Table {
 		Title:   "busy tries and CPU vs TL, line rate, M=3, V̄=10us",
 		Columns: []string{"TL_us", "busy_tries_pct", "cpu_pct"},
 	}
-	for i, tl := range []float64{100e-6, 300e-6, 500e-6, 700e-6} {
+	tls := []float64{100e-6, 300e-6, 500e-6, 700e-6}
+	t.Rows = parMap(o, len(tls), func(i int) []string {
 		cfg := core.DefaultConfig()
-		cfg.TL = tl
+		cfg.TL = tls[i]
 		_, m := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(200+i))
-		t.Rows = append(t.Rows, []string{
-			f1(tl * 1e6), pct(m.BusyTryFrac * 100), pct(m.CPUPercent),
-		})
-	}
+		return []string{
+			f1(tls[i] * 1e6), pct(m.BusyTryFrac * 100), pct(m.CPUPercent),
+		}
+	})
 	t.Notes = append(t.Notes, "paper: most of the gain lands before TL=500us")
 	return []*Table{t}
 }
@@ -114,37 +121,41 @@ func runFig7(o Options) []*Table {
 		Title:   "busy tries and CPU vs M, line rate, V̄=10us, TL=500us",
 		Columns: []string{"M", "busy_tries_pct", "cpu_pct"},
 	}
-	for i, m := range []int{2, 3, 4, 5, 6} {
+	ms := []int{2, 3, 4, 5, 6}
+	t.Rows = parMap(o, len(ms), func(i int) []string {
 		cfg := core.DefaultConfig()
-		cfg.M = m
+		cfg.M = ms[i]
 		_, met := singleQueueCBR(o, cfg, traffic.Rate64B(10), d, o.Seed+uint64(300+i))
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", m), pct(met.BusyTryFrac * 100), pct(met.CPUPercent),
-		})
-	}
+		return []string{
+			fmt.Sprintf("%d", ms[i]), pct(met.BusyTryFrac * 100), pct(met.CPUPercent),
+		}
+	})
 	return []*Table{t}
 }
 
 func runFig8(o Options) []*Table {
 	d := dur(o, 1.0)
+	rates := []float64{10, 1}
+	ms := []int{2, 3, 4, 5, 6}
+	rows := parMap(o, len(rates)*len(ms), func(j int) []string {
+		gbps, m := rates[j/len(ms)], ms[j%len(ms)]
+		cfg := core.DefaultConfig()
+		cfg.M = m
+		_, met := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(400+j%len(ms)))
+		return []string{
+			fmt.Sprintf("%d", m),
+			us(met.Latency.Mean), us(met.Latency.Q1), us(met.Latency.Q3),
+			us(met.Latency.Max), us(met.LatencyStd),
+		}
+	})
 	var tables []*Table
-	for _, gbps := range []float64{10, 1} {
-		t := &Table{
+	for gi, gbps := range rates {
+		tables = append(tables, &Table{
 			ID:      "fig8",
 			Title:   fmt.Sprintf("latency vs M at %.0f Gbps", gbps),
 			Columns: []string{"M", "lat_mean_us", "lat_q1_us", "lat_q3_us", "lat_max_us", "lat_std_us"},
-		}
-		for i, m := range []int{2, 3, 4, 5, 6} {
-			cfg := core.DefaultConfig()
-			cfg.M = m
-			_, met := singleQueueCBR(o, cfg, traffic.Rate64B(gbps), d, o.Seed+uint64(400+i))
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", m),
-				us(met.Latency.Mean), us(met.Latency.Q1), us(met.Latency.Q3),
-				us(met.Latency.Max), us(met.LatencyStd),
-			})
-		}
-		tables = append(tables, t)
+			Rows:    rows[gi*len(ms) : (gi+1)*len(ms)],
+		})
 	}
 	return tables
 }

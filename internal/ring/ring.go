@@ -7,6 +7,7 @@ package ring
 
 import (
 	"errors"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -19,8 +20,13 @@ type slot[T any] struct {
 }
 
 // MPMC is a bounded multi-producer/multi-consumer ring. All methods are
-// safe for concurrent use and never block: full/empty conditions return
-// false, exactly like rte_ring's enqueue/dequeue burst calls.
+// safe for concurrent use and full/empty conditions return false/0
+// immediately, exactly like rte_ring's enqueue/dequeue calls. Like
+// rte_ring, the burst paths reserve a whole span with one CAS and may then
+// wait for a peer that reserved an overlapping slot earlier to publish its
+// read or write — a wait bounded by that peer's few remaining instructions
+// (plus its rescheduling latency if it was preempted mid-operation), not
+// by queue state. Single-element Enqueue/Dequeue never wait.
 type MPMC[T any] struct {
 	mask    uint64
 	slots   []slot[T]
@@ -104,31 +110,87 @@ func (r *MPMC[T]) Dequeue() (v T, ok bool) {
 	}
 }
 
+// awaitSeq spins until the slot's sequence reaches want — the moment the
+// peer that previously reserved it publishes its read or write. The wait is
+// bounded by that peer's few remaining instructions (exactly rte_ring's
+// tail-update wait); the periodic Gosched keeps a preempted peer from
+// starving us on a loaded machine.
+func awaitSeq(s *atomic.Uint64, want uint64) {
+	for spin := 0; s.Load() != want; spin++ {
+		if spin >= 128 {
+			runtime.Gosched()
+			spin = 0
+		}
+	}
+}
+
 // DequeueBurst moves up to len(out) elements into out and returns the
-// count, mirroring rte_eth_rx_burst semantics.
+// count, mirroring rte_eth_rx_burst semantics. Like rte_ring's bulk path,
+// it reserves the whole span with a single CAS on the consumer cursor and
+// then drains the slots in order, instead of paying one CAS per element.
 func (r *MPMC[T]) DequeueBurst(out []T) int {
-	n := 0
-	for n < len(out) {
-		v, ok := r.Dequeue()
-		if !ok {
+	if len(out) == 0 {
+		return 0
+	}
+	var pos, n uint64
+	for {
+		pos = r.dequeue.Load()
+		// Conservative availability: the producer cursor counts reserved
+		// writes, and any not yet published are awaited below.
+		avail := r.enqueue.Load() - pos
+		n = uint64(len(out))
+		if n > avail {
+			n = avail
+		}
+		if n == 0 {
+			return 0
+		}
+		if r.dequeue.CompareAndSwap(pos, pos+n) {
 			break
 		}
-		out[n] = v
-		n++
 	}
-	return n
+	for i := uint64(0); i < n; i++ {
+		s := &r.slots[(pos+i)&r.mask]
+		awaitSeq(&s.seq, pos+i+1)
+		out[i] = s.val
+		var zero T
+		s.val = zero
+		s.seq.Store(pos + i + r.mask + 1)
+	}
+	return int(n)
 }
 
 // EnqueueBurst adds as many elements of in as fit and returns the count.
+// One CAS on the producer cursor reserves the span; slots are then filled
+// and published in order (rte_ring bulk enqueue).
 func (r *MPMC[T]) EnqueueBurst(in []T) int {
-	n := 0
-	for n < len(in) {
-		if !r.Enqueue(in[n]) {
+	if len(in) == 0 {
+		return 0
+	}
+	var pos, n uint64
+	for {
+		pos = r.enqueue.Load()
+		// Conservative free count: the consumer cursor counts reserved
+		// reads; a slot whose read is still in flight is awaited below.
+		free := uint64(len(r.slots)) - (pos - r.dequeue.Load())
+		n = uint64(len(in))
+		if n > free {
+			n = free
+		}
+		if n == 0 {
+			return 0
+		}
+		if r.enqueue.CompareAndSwap(pos, pos+n) {
 			break
 		}
-		n++
 	}
-	return n
+	for i := uint64(0); i < n; i++ {
+		s := &r.slots[(pos+i)&r.mask]
+		awaitSeq(&s.seq, pos+i)
+		s.val = in[i]
+		s.seq.Store(pos + i + 1)
+	}
+	return int(n)
 }
 
 // SPSC is a single-producer/single-consumer ring: no CAS, just two indexes

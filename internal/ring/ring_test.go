@@ -269,3 +269,259 @@ func BenchmarkMPMCContended(b *testing.B) {
 		}
 	})
 }
+
+// TestMPMCBurstContended hammers the bulk span-reservation path: several
+// producers enqueue bursts of varying sizes while consumers drain with
+// bursts, and every value must come out exactly once. Run with -race to
+// exercise the publish ordering of the reserved spans.
+func TestMPMCBurstContended(t *testing.T) {
+	r, _ := NewMPMC[int](64)
+	const producers, consumers = 4, 4
+	perProducer := soak(t, 4000)
+	seen := make([]int32, producers*perProducer)
+	var mu sync.Mutex
+	var wg, cwg sync.WaitGroup
+	done := make(chan struct{})
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := make([]int, 0, 8)
+			next := 0
+			for next < perProducer {
+				buf = buf[:0]
+				// bursts of 1..8, truncated at the tail
+				for i := 0; i < 1+(next%8) && next+i < perProducer; i++ {
+					buf = append(buf, p*perProducer+next+i)
+				}
+				sent := 0
+				for sent < len(buf) {
+					n := r.EnqueueBurst(buf[sent:])
+					if n == 0 {
+						runtime.Gosched()
+						continue
+					}
+					sent += n
+				}
+				next += len(buf)
+			}
+		}(p)
+	}
+	drain := func(out []int) bool {
+		n := r.DequeueBurst(out)
+		if n == 0 {
+			return false
+		}
+		mu.Lock()
+		for _, v := range out[:n] {
+			seen[v]++
+		}
+		mu.Unlock()
+		return true
+	}
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			out := make([]int, 8)
+			for {
+				if !drain(out) {
+					select {
+					case <-done:
+						for drain(out) {
+						}
+						return
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}
+
+// TestMPMCBurstMixedWithSingle interleaves bulk and single-element
+// operations on the same ring: the two reservation styles must compose.
+func TestMPMCBurstMixedWithSingle(t *testing.T) {
+	r, _ := NewMPMC[int](32)
+	n := soak(t, 20000)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 4)
+		i := 0
+		for i < n {
+			if i%5 == 0 {
+				for !r.Enqueue(i) {
+					runtime.Gosched()
+				}
+				i++
+				continue
+			}
+			k := 0
+			for k < len(buf) && i+k < n {
+				buf[k] = i + k
+				k++
+			}
+			sent := 0
+			for sent < k {
+				m := r.EnqueueBurst(buf[sent:k])
+				if m == 0 {
+					runtime.Gosched()
+					continue
+				}
+				sent += m
+			}
+			i += k
+		}
+	}()
+	got := make([]bool, n)
+	out := make([]int, 4)
+	read := 0
+	for read < n {
+		if read%3 == 0 {
+			if v, ok := r.Dequeue(); ok {
+				if got[v] {
+					t.Fatalf("value %d duplicated", v)
+				}
+				got[v] = true
+				read++
+				continue
+			}
+			runtime.Gosched()
+			continue
+		}
+		m := r.DequeueBurst(out)
+		if m == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for _, v := range out[:m] {
+			if got[v] {
+				t.Fatalf("value %d duplicated", v)
+			}
+			got[v] = true
+		}
+		read += m
+	}
+	wg.Wait()
+	for v, ok := range got {
+		if !ok {
+			t.Fatalf("value %d lost", v)
+		}
+	}
+}
+
+// TestMPMCBurstSingleProducerFIFO checks bursts preserve FIFO order when
+// one producer and one consumer use the bulk path end to end.
+func TestMPMCBurstSingleProducerFIFO(t *testing.T) {
+	r, _ := NewMPMC[int](16)
+	in := make([]int, 11)
+	out := make([]int, 16)
+	next := 0
+	want := 0
+	for round := 0; round < 200; round++ {
+		for i := range in {
+			in[i] = next + i
+		}
+		next += r.EnqueueBurst(in)
+		for {
+			n := r.DequeueBurst(out)
+			if n == 0 {
+				break
+			}
+			for _, v := range out[:n] {
+				if v != want {
+					t.Fatalf("got %d want %d", v, want)
+				}
+				want++
+			}
+		}
+	}
+	if want != next {
+		t.Fatalf("drained %d of %d", want, next)
+	}
+}
+
+// perElementEnqueueBurst is the pre-bulk-path implementation (one CAS per
+// element), kept as the benchmark baseline for the span-reservation path.
+func perElementEnqueueBurst[T any](r *MPMC[T], in []T) int {
+	n := 0
+	for n < len(in) {
+		if !r.Enqueue(in[n]) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func perElementDequeueBurst[T any](r *MPMC[T], out []T) int {
+	n := 0
+	for n < len(out) {
+		v, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+func benchBurst(b *testing.B, size int, enq func(*MPMC[int], []int) int, deq func(*MPMC[int], []int) int) {
+	r, _ := NewMPMC[int](1024)
+	in := make([]int, size)
+	out := make([]int, size)
+	for i := range in {
+		in[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enq(r, in)
+		deq(r, out)
+	}
+}
+
+func BenchmarkMPMCBurst32Bulk(b *testing.B) {
+	benchBurst(b, 32, (*MPMC[int]).EnqueueBurst, (*MPMC[int]).DequeueBurst)
+}
+
+func BenchmarkMPMCBurst32PerElement(b *testing.B) {
+	benchBurst(b, 32, perElementEnqueueBurst[int], perElementDequeueBurst[int])
+}
+
+func BenchmarkMPMCBurst32BulkContended(b *testing.B) {
+	r, _ := NewMPMC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		in := make([]int, 32)
+		out := make([]int, 32)
+		for pb.Next() {
+			r.EnqueueBurst(in)
+			r.DequeueBurst(out)
+		}
+	})
+}
+
+func BenchmarkMPMCBurst32PerElementContended(b *testing.B) {
+	r, _ := NewMPMC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		in := make([]int, 32)
+		out := make([]int, 32)
+		for pb.Next() {
+			perElementEnqueueBurst(r, in)
+			perElementDequeueBurst(r, out)
+		}
+	})
+}

@@ -247,3 +247,111 @@ func TestCounterAndRatio(t *testing.T) {
 		t.Errorf("Ratio with zero total should be 0")
 	}
 }
+
+func TestSampleMergeEqualsAddAll(t *testing.T) {
+	r := xrand.New(7)
+	var a, b, merged, direct Sample
+	for i := 0; i < 500; i++ {
+		x := r.NormFloat64()
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	merged.Merge(&a)
+	merged.Merge(&b)
+	for _, x := range a.Values() {
+		direct.Add(x)
+	}
+	for _, x := range b.Values() {
+		direct.Add(x)
+	}
+	if merged.N() != direct.N() {
+		t.Fatalf("N: merged %d direct %d", merged.N(), direct.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if merged.Quantile(q) != direct.Quantile(q) {
+			t.Errorf("q%.2f: merged %v direct %v", q, merged.Quantile(q), direct.Quantile(q))
+		}
+	}
+	if merged.Mean() != direct.Mean() {
+		t.Errorf("mean: merged %v direct %v", merged.Mean(), direct.Mean())
+	}
+}
+
+func TestSampleMergeEmptyAndNil(t *testing.T) {
+	var s, empty Sample
+	s.Add(1)
+	s.Merge(&empty)
+	s.Merge(nil)
+	if s.N() != 1 || s.Quantile(0.5) != 1 {
+		t.Fatalf("merge of empty changed the sample: n=%d", s.N())
+	}
+}
+
+func TestSampleCapThinsUniformly(t *testing.T) {
+	var s Sample
+	s.SetCap(64)
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() > 64 {
+		t.Fatalf("retained %d > cap 64", s.N())
+	}
+	if s.N() < 16 {
+		t.Fatalf("retained %d, over-thinned", s.N())
+	}
+	// The retained subsample still spans the stream and keeps its quantiles
+	// roughly in place (values were 0..9999 uniform).
+	if med := s.Quantile(0.5); med < 2500 || med > 7500 {
+		t.Errorf("median of thinned uniform stream = %v", med)
+	}
+	if s.Quantile(1) < 7500 {
+		t.Errorf("max of thinned stream = %v, tail lost", s.Quantile(1))
+	}
+	if s.Quantile(0) > 2500 {
+		t.Errorf("min of thinned stream = %v, head lost", s.Quantile(0))
+	}
+}
+
+func TestSampleCapOnMerge(t *testing.T) {
+	var big, s Sample
+	for i := 0; i < 1000; i++ {
+		big.Add(float64(i))
+	}
+	s.SetCap(100)
+	s.Merge(&big)
+	if s.N() > 100 {
+		t.Fatalf("merge overshot cap: %d", s.N())
+	}
+	if s.N() < 25 {
+		t.Fatalf("merge over-thinned: %d", s.N())
+	}
+}
+
+func TestSampleUncappedUnchanged(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 1000 || s.Cap() != 0 {
+		t.Fatalf("uncapped sample thinned: n=%d cap=%d", s.N(), s.Cap())
+	}
+}
+
+func TestSampleUncapResumesRetention(t *testing.T) {
+	var s Sample
+	s.SetCap(64)
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i))
+	}
+	s.SetCap(0)
+	before := s.N()
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(10000 + i))
+	}
+	if s.N() != before+1000 {
+		t.Fatalf("after SetCap(0), %d of 1000 Adds retained", s.N()-before)
+	}
+}
