@@ -1,0 +1,126 @@
+// Command benchgate is the CI bench-regression gate: it reads `go test
+// -bench` output on stdin, extracts every sample of one benchmark, and
+// fails (exit 1) when the measurement regresses past the committed
+// baseline's gate block.
+//
+// Allocations are deterministic for our simulator hot path, so allocs/op is
+// compared exactly: one alloc over the baseline fails. Wall time on shared
+// CI runners is not deterministic, so ns/op gets a generous guard factor,
+// and the best of the -count samples is compared (the minimum is the least
+// noisy location statistic for a time measurement).
+//
+// Usage:
+//
+//	go test -run=NONE -bench='^BenchmarkSimulateThroughput$' \
+//	    -benchtime=3x -count=3 -benchmem . | benchgate -baseline BENCH_simulate.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the gate block of a BENCH_*.json file.
+type baseline struct {
+	Gate struct {
+		Benchmark       string  `json:"benchmark"`
+		MaxAllocsPerOp  int64   `json:"max_allocs_per_op"`
+		NsPerOpRef      float64 `json:"ns_per_op_ref"`
+		TimeGuardFactor float64 `json:"time_guard_factor"`
+	} `json:"gate"`
+}
+
+func main() {
+	var (
+		path = flag.String("baseline", "BENCH_simulate.json", "baseline JSON with a gate block")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		fatal("parse baseline %s: %v", *path, err)
+	}
+	if b.Gate.Benchmark == "" || b.Gate.MaxAllocsPerOp <= 0 {
+		fatal("baseline %s has no usable gate block", *path)
+	}
+	if b.Gate.TimeGuardFactor <= 0 {
+		b.Gate.TimeGuardFactor = 3
+	}
+
+	var (
+		samples   int
+		minNs     float64
+		maxAllocs int64
+	)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		// "BenchmarkName-8   3   1064763 ns/op   55243 B/op   85 allocs/op"
+		if len(fields) < 2 || strings.SplitN(fields[0], "-", 2)[0] != b.Gate.Benchmark {
+			continue
+		}
+		ns, okNs := valueBefore(fields, "ns/op")
+		allocs, okAl := valueBefore(fields, "allocs/op")
+		if !okNs || !okAl {
+			continue
+		}
+		if samples == 0 || ns < minNs {
+			minNs = ns
+		}
+		if a := int64(allocs); samples == 0 || a > maxAllocs {
+			maxAllocs = a
+		}
+		samples++
+		fmt.Printf("benchgate: sample %d: %.0f ns/op, %d allocs/op\n", samples, ns, int64(allocs))
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if samples == 0 {
+		fatal("no %s samples on stdin (did the benchmark run with -benchmem?)", b.Gate.Benchmark)
+	}
+
+	fail := false
+	if maxAllocs > b.Gate.MaxAllocsPerOp {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL allocs/op %d > baseline %d (allocations are deterministic: this is a real regression)\n",
+			maxAllocs, b.Gate.MaxAllocsPerOp)
+		fail = true
+	}
+	if limit := b.Gate.NsPerOpRef * b.Gate.TimeGuardFactor; b.Gate.NsPerOpRef > 0 && minNs > limit {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL best ns/op %.0f > %.1fx baseline %.0f (guard factor absorbs shared-runner noise; this is beyond it)\n",
+			minNs, b.Gate.TimeGuardFactor, b.Gate.NsPerOpRef)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: PASS %s: best %.0f ns/op (<= %.1fx %.0f), worst %d allocs/op (<= %d)\n",
+		b.Gate.Benchmark, minNs, b.Gate.TimeGuardFactor, b.Gate.NsPerOpRef, maxAllocs, b.Gate.MaxAllocsPerOp)
+}
+
+// valueBefore returns the numeric field immediately preceding the given
+// unit token.
+func valueBefore(fields []string, unit string) (float64, bool) {
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == unit {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -45,8 +45,9 @@ type Config struct {
 	// Alpha is the EWMA smoothing of the load estimator (eq. 11).
 	Alpha float64
 	// Policy names the scheduling discipline from the sched registry
-	// ("adaptive", "fixed", "busypoll", or an application-registered
-	// name). Empty falls back to the legacy Adaptive/TSFixed fields.
+	// ("adaptive", "fixed", "busypoll", "rmetronome", "worksteal", or an
+	// application-registered name). Empty falls back to the legacy
+	// Adaptive/TSFixed fields.
 	// Like the other Config validations, an unknown name panics in New;
 	// pre-validate user-supplied names with sched.New / PolicyNames.
 	Policy string
@@ -152,6 +153,7 @@ type Runtime struct {
 	Queues  []*nic.Queue
 	Acct    *cpu.Accounting
 	policy  sched.Policy
+	group   sched.GroupPolicy // non-nil when the policy binds service groups
 	threads []*thread
 
 	locked      []bool
@@ -164,6 +166,13 @@ type Runtime struct {
 	// Per-queue splits of the same counters (Table III).
 	TriesQ     []int64
 	BusyTriesQ []int64
+	// Multi-thread-per-queue cycle accounting for the shared-queue
+	// disciplines: who served which queue. CyclesQ[q] counts completed
+	// service cycles of queue q; CyclesByThread[t] counts cycles thread t
+	// served (on any queue), so service-turn fairness inside an r-member
+	// group is observable.
+	CyclesQ        []int64
+	CyclesByThread []int64
 }
 
 // New builds a runtime over queues; the engine clock must be at zero.
@@ -182,16 +191,19 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 		cfg.FreqScale = 1
 	}
 	r := &Runtime{
-		Cfg:         cfg,
-		Eng:         eng,
-		Queues:      queues,
-		Acct:        cpu.NewAccounting(cfg.M),
-		policy:      sched.MustNew(PolicyName(cfg), policyConfig(cfg, len(queues))),
-		locked:      make([]bool, len(queues)),
-		lastRelease: make([]float64, len(queues)),
-		TriesQ:      make([]int64, len(queues)),
-		BusyTriesQ:  make([]int64, len(queues)),
+		Cfg:            cfg,
+		Eng:            eng,
+		Queues:         queues,
+		Acct:           cpu.NewAccounting(cfg.M),
+		policy:         sched.MustNew(PolicyName(cfg), policyConfig(cfg, len(queues))),
+		locked:         make([]bool, len(queues)),
+		lastRelease:    make([]float64, len(queues)),
+		TriesQ:         make([]int64, len(queues)),
+		BusyTriesQ:     make([]int64, len(queues)),
+		CyclesQ:        make([]int64, len(queues)),
+		CyclesByThread: make([]int64, cfg.M),
 	}
+	r.group, _ = r.policy.(sched.GroupPolicy)
 	root := xrand.New(cfg.Seed)
 	cores := cfg.Cores
 	if len(cores) == 0 {
@@ -266,6 +278,10 @@ func (r *Runtime) Start() {
 // Policy exposes the scheduling discipline driving this runtime.
 func (r *Runtime) Policy() sched.Policy { return r.policy }
 
+// Group exposes the shared-queue extension of the policy, or nil when the
+// discipline does not bind service groups.
+func (r *Runtime) Group() sched.GroupPolicy { return r.group }
+
 // TS returns the current short timeout of queue q (for sampling hooks).
 func (r *Runtime) TS(q int) float64 { return r.policy.TS(q) }
 
@@ -299,7 +315,14 @@ func (r *Runtime) wakeup(th *thread) {
 		r.sleepTraced(th, r.policy.TL(q), true)
 		return
 	}
-	// Lock won: serve the queue.
+	// Lock won: serve the queue. Shared-queue disciplines additionally
+	// claim the queue's service turn; sequential execution means the claim
+	// cannot fail here (see sched.GroupPolicy — in the live runtime the
+	// claim runs before the trylock as an admission filter), so in the twin
+	// the counter is an exact tally of the service turns each queue began.
+	if r.group != nil {
+		r.group.ClaimTurn(q)
+	}
 	if r.Cfg.Tracer != nil {
 		r.Cfg.Tracer.Wake(now, th.id, q, true)
 	}
@@ -359,12 +382,24 @@ func (r *Runtime) finishCycle(th *thread) {
 	r.locked[q] = false
 	r.lastRelease[q] = now
 	r.Cycles.Inc()
+	r.CyclesQ[q]++
+	r.CyclesByThread[th.id]++
 	ts := r.policy.ObserveCycle(q, busy, th.vacation)
 	if r.Cfg.OnCycle != nil {
 		r.Cfg.OnCycle(q, th.vacation, busy)
 	}
 	if r.Cfg.Tracer != nil {
 		r.Cfg.Tracer.Release(now, th.id, q, busy)
+	}
+	// Shared-queue disciplines keep service groups stable: a member that
+	// served a foreign queue as backup returns home and re-arms its home
+	// queue's member timeout, so each group actually holds the size its
+	// eq. (13) timeout assumes.
+	if r.group != nil {
+		if home := r.group.HomeQueue(th.id); home != q {
+			th.queue = home
+			ts = r.policy.TS(home)
+		}
 	}
 	r.sleepTraced(th, ts, false)
 }
@@ -408,6 +443,7 @@ type Metrics struct {
 	Tries         int64
 	BusyTryFrac   float64
 	Cycles        int64
+	CyclesQ       []int64
 	RxPackets     int64
 	Served        int64
 	Drops         int64
@@ -432,6 +468,7 @@ func (r *Runtime) Snapshot(wall float64) Metrics {
 		Tries:       r.Tries.Value,
 		BusyTryFrac: r.BusyTryFraction(),
 		Cycles:      r.Cycles.Value,
+		CyclesQ:     append([]int64(nil), r.CyclesQ...),
 	}
 	var vac, busy, nv stats.Welford
 	var lat stats.Sample

@@ -7,6 +7,7 @@ import (
 	"metronome/internal/hrtimer"
 	"metronome/internal/model"
 	"metronome/internal/nic"
+	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/stats"
 	"metronome/internal/traffic"
@@ -412,5 +413,92 @@ func TestSteadyStateCycleAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state cycles allocate %.1f per ms window, want 0", allocs)
+	}
+}
+
+// runMulti spins up an N-queue Metronome over an even CBR split.
+func runMulti(t *testing.T, cfg Config, nq int, totalPPS, dur float64) (*Runtime, Metrics) {
+	t.Helper()
+	eng := sim.New()
+	root := xrand.New(cfg.Seed + 2000)
+	queues := make([]*nic.Queue, nq)
+	for i := range queues {
+		queues[i] = nic.NewQueue(i, traffic.CBR{PPS: totalPPS / float64(nq)}, root.Split(), nic.DefaultOptions())
+	}
+	r := New(eng, queues, cfg)
+	r.Start()
+	eng.RunUntil(dur)
+	return r, r.Snapshot(dur)
+}
+
+// TestRMetronomeCycleAccounting pins the multi-thread-per-queue accounting:
+// per-queue and per-thread cycle splits sum to the total, every group
+// member takes service turns, and the policy's turn counter matches the
+// cycles the twin actually began.
+func TestRMetronomeCycleAccounting(t *testing.T) {
+	for _, policy := range []string{sched.NameRMetronome, sched.NameWorkSteal} {
+		cfg := DefaultConfig()
+		cfg.M = 4
+		cfg.Policy = policy
+		cfg.Seed = 9
+		rt, m := runMulti(t, cfg, 2, 10e6, 0.05)
+		if rt.Group() == nil {
+			t.Fatalf("%s: no GroupPolicy", policy)
+		}
+		var sumQ, sumT int64
+		for q, c := range rt.CyclesQ {
+			if c == 0 {
+				t.Errorf("%s: queue %d never served", policy, q)
+			}
+			sumQ += c
+		}
+		for id, c := range rt.CyclesByThread {
+			if c == 0 {
+				t.Errorf("%s: thread %d never took a service turn", policy, id)
+			}
+			sumT += c
+		}
+		if sumQ != rt.Cycles.Value || sumT != rt.Cycles.Value {
+			t.Errorf("%s: cycle splits sum to %d (queues) / %d (threads), want %d",
+				policy, sumQ, sumT, rt.Cycles.Value)
+		}
+		if len(m.CyclesQ) != 2 || m.CyclesQ[0] != rt.CyclesQ[0] {
+			t.Errorf("%s: Metrics.CyclesQ = %v, runtime %v", policy, m.CyclesQ, rt.CyclesQ)
+		}
+		// In the sequential twin a turn is claimed exactly when a cycle
+		// begins, so the counters can differ only by an in-flight cycle.
+		for q := range rt.CyclesQ {
+			turns := int64(rt.Group().Turns(q))
+			if turns < rt.CyclesQ[q] || turns > rt.CyclesQ[q]+1 {
+				t.Errorf("%s: queue %d turns = %d, cycles = %d", policy, q, turns, rt.CyclesQ[q])
+			}
+		}
+	}
+}
+
+// TestRMetronomeMembersReturnHome runs the shared-queue discipline with a
+// hot and a cold queue: backups that steal a turn on the foreign queue must
+// return home, so their home queue keeps being served.
+func TestRMetronomeMembersReturnHome(t *testing.T) {
+	eng := sim.New()
+	root := xrand.New(4)
+	queues := []*nic.Queue{
+		nic.NewQueue(0, traffic.CBR{PPS: 12e6}, root.Split(), nic.DefaultOptions()),
+		nic.NewQueue(1, traffic.CBR{PPS: 0.2e6}, root.Split(), nic.DefaultOptions()),
+	}
+	cfg := DefaultConfig()
+	cfg.M = 4
+	cfg.Policy = sched.NameWorkSteal
+	cfg.Seed = 5
+	r := New(eng, queues, cfg)
+	r.Start()
+	eng.RunUntil(0.05)
+	// Both queues keep completing cycles: group membership did not leak
+	// every thread to the hot queue.
+	if r.CyclesQ[0] == 0 || r.CyclesQ[1] == 0 {
+		t.Fatalf("queue starved: CyclesQ = %v", r.CyclesQ)
+	}
+	if m := r.Snapshot(0.05); m.LossRate > 0.05 {
+		t.Errorf("loss = %v under a modest hot queue", m.LossRate)
 	}
 }

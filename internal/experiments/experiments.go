@@ -252,7 +252,10 @@ func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
 		}
 		r.Tries.Value, r.BusyTries.Value, r.Cycles.Value = 0, 0, 0
 		for i := range r.TriesQ {
-			r.TriesQ[i], r.BusyTriesQ[i] = 0, 0
+			r.TriesQ[i], r.BusyTriesQ[i], r.CyclesQ[i] = 0, 0, 0
+		}
+		for i := range r.CyclesByThread {
+			r.CyclesByThread[i] = 0
 		}
 		// CPU accounting restarts too: replace through a fresh window.
 		r.Acct = cpu.NewAccounting(s.cfg.M)

@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig4", "tab1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "tab2", "fig12", "fig13", "fig14", "fig15",
-		"tab3", "fig16",
+		"tab3", "fig16", "fig13-15-rmetronome",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

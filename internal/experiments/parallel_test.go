@@ -47,7 +47,7 @@ func renderAll(tabs []*Table) string {
 // index. Covers flattened multi-series sweeps (fig5, fig13), paired-run
 // rows (fig14), and ablations.
 func TestParallelRunsAreByteIdentical(t *testing.T) {
-	ids := []string{"tab1", "fig5", "fig8", "fig13", "fig14", "abl-poisson", "abl-robust"}
+	ids := []string{"tab1", "fig5", "fig8", "fig13", "fig13-15-rmetronome", "fig14", "abl-poisson", "abl-robust"}
 	if testing.Short() {
 		// CI runs this under -race where every simulation is ~15x slower;
 		// keep one flattened multi-series sweep and one paired-run sweep.

@@ -1,0 +1,11 @@
+//go:build !race
+
+package ring
+
+// roleGuard is the production build of the SPSC role-misuse detector: a
+// zero-size no-op the compiler inlines away, so the fast path pays nothing
+// for the contract checking race builds get (see guard_race.go).
+type roleGuard struct{}
+
+func (*roleGuard) enter(string) {}
+func (*roleGuard) exit()        {}

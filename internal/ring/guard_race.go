@@ -1,0 +1,22 @@
+//go:build race
+
+package ring
+
+import "sync/atomic"
+
+// roleGuard enforces the SPSC contract under the race detector: at most
+// one call per role (producer or consumer) in flight at a time. Two
+// goroutines entering the same role concurrently is a correctness bug the
+// plain-atomics SPSC cannot survive — and one the race detector alone can
+// miss when the interleaving happens to look benign — so race builds turn
+// it into a deterministic panic at the offending call. Production builds
+// compile the guard to nothing (guard_norace.go).
+type roleGuard struct{ busy atomic.Int32 }
+
+func (g *roleGuard) enter(role string) {
+	if g.busy.Add(1) != 1 {
+		panic("ring: concurrent " + role + "-side calls on an SPSC ring — use MPMC, or serialise the role behind a lock")
+	}
+}
+
+func (g *roleGuard) exit() { g.busy.Add(-1) }

@@ -1,0 +1,64 @@
+//go:build race
+
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+// The guard tests run only under -race, where roleGuard is compiled in
+// (the CI race step covers internal/ring, so the contract is enforced on
+// every push).
+
+// TestSPSCWrongRolePanicsDeterministic white-boxes the guard: with one
+// producer call already in flight, a second entry into the producer role
+// must panic.
+func TestSPSCWrongRolePanicsDeterministic(t *testing.T) {
+	r, _ := NewSPSC[int](8)
+	r.prod.enter("producer") // first producer mid-call
+	defer r.prod.exit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second concurrent producer call did not panic")
+		}
+	}()
+	r.Enqueue(1)
+}
+
+// TestSPSCConsumerRoleGuard does the same for the consumer side, through
+// the burst path.
+func TestSPSCConsumerRoleGuard(t *testing.T) {
+	r, _ := NewSPSC[int](8)
+	r.Enqueue(1)
+	r.cons.enter("consumer")
+	defer r.cons.exit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second concurrent consumer call did not panic")
+		}
+	}()
+	r.DequeueBurst(make([]int, 4))
+}
+
+// TestSPSCDistinctRolesDoNotCollide: a producer and a consumer in flight
+// at the same time is the contract working as intended, not misuse.
+func TestSPSCDistinctRolesDoNotCollide(t *testing.T) {
+	r, _ := NewSPSC[int](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10000; i++ {
+			r.Enqueue(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		out := make([]int, 8)
+		for i := 0; i < 10000; i++ {
+			r.DequeueBurst(out)
+		}
+	}()
+	wg.Wait()
+}

@@ -194,11 +194,17 @@ func (r *MPMC[T]) EnqueueBurst(in []T) int {
 }
 
 // SPSC is a single-producer/single-consumer ring: no CAS, just two indexes
-// with release/acquire ordering. Exactly one goroutine may call Enqueue*
-// and exactly one may call Dequeue*.
+// with release/acquire ordering. At most one Enqueue*/producer call and one
+// Dequeue*/consumer call may be in flight at a time — one goroutine per
+// role, or several serialised by a lock whose hand-off synchronises (an
+// atomic trylock does; Metronome's Runner drains queues under exactly such
+// a lock). Race-detector builds enforce the contract: concurrent calls into
+// the same role panic (see roleGuard); regular builds pay nothing.
 type SPSC[T any] struct {
 	mask uint64
 	buf  []T
+	prod roleGuard
+	cons roleGuard
 	_    [56]byte
 	head atomic.Uint64 // next write
 	_    [56]byte
@@ -221,38 +227,76 @@ func (r *SPSC[T]) Len() int { return int(r.head.Load() - r.tail.Load()) }
 
 // Enqueue adds v; it reports false when full.
 func (r *SPSC[T]) Enqueue(v T) bool {
+	r.prod.enter("producer")
 	head := r.head.Load()
 	if head-r.tail.Load() >= uint64(len(r.buf)) {
+		r.prod.exit()
 		return false
 	}
 	r.buf[head&r.mask] = v
 	r.head.Store(head + 1)
+	r.prod.exit()
 	return true
 }
 
 // Dequeue removes the oldest element; ok is false when empty.
 func (r *SPSC[T]) Dequeue() (v T, ok bool) {
+	r.cons.enter("consumer")
 	tail := r.tail.Load()
 	if tail == r.head.Load() {
+		r.cons.exit()
 		return v, false
 	}
 	v = r.buf[tail&r.mask]
 	var zero T
 	r.buf[tail&r.mask] = zero
 	r.tail.Store(tail + 1)
+	r.cons.exit()
 	return v, true
 }
 
-// DequeueBurst moves up to len(out) elements into out.
-func (r *SPSC[T]) DequeueBurst(out []T) int {
-	n := 0
-	for n < len(out) {
-		v, ok := r.Dequeue()
-		if !ok {
-			break
-		}
-		out[n] = v
-		n++
+// EnqueueBurst adds as many elements of in as fit and returns the count.
+// This is the single-producer bulk fast path: one acquire load of the
+// consumer cursor bounds the batch, the slots are filled with plain stores,
+// and a single release store of the producer cursor publishes the whole
+// burst — no CAS, no per-slot sequence traffic (compare MPMC.EnqueueBurst).
+func (r *SPSC[T]) EnqueueBurst(in []T) int {
+	r.prod.enter("producer")
+	head := r.head.Load()
+	n := uint64(len(r.buf)) - (head - r.tail.Load())
+	if n > uint64(len(in)) {
+		n = uint64(len(in))
 	}
-	return n
+	for i := uint64(0); i < n; i++ {
+		r.buf[(head+i)&r.mask] = in[i]
+	}
+	if n > 0 {
+		r.head.Store(head + n)
+	}
+	r.prod.exit()
+	return int(n)
+}
+
+// DequeueBurst moves up to len(out) elements into out, mirroring
+// rte_eth_rx_burst semantics: one acquire load of the producer cursor
+// bounds the batch, the slots are copied out and zeroed with plain stores,
+// and a single release store of the consumer cursor frees the whole span.
+func (r *SPSC[T]) DequeueBurst(out []T) int {
+	r.cons.enter("consumer")
+	tail := r.tail.Load()
+	n := r.head.Load() - tail
+	if n > uint64(len(out)) {
+		n = uint64(len(out))
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		idx := (tail + i) & r.mask
+		out[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	if n > 0 {
+		r.tail.Store(tail + n)
+	}
+	r.cons.exit()
+	return int(n)
 }

@@ -26,13 +26,89 @@ type RxQueue interface {
 	PollBurst(out []*mbuf.Mbuf) int
 }
 
-// RingQueue adapts an MPMC ring of mbufs to RxQueue.
+// RxRing is a ring-backed RxQueue with its producer side exposed, so one
+// value can be handed to both the traffic source and the Runner. NewRxRing
+// picks the cheapest safe specialisation for a deployment.
+type RxRing interface {
+	RxQueue
+	// Enqueue adds one packet; false means the ring is full.
+	Enqueue(m *mbuf.Mbuf) bool
+	// EnqueueBurst adds as many packets of in as fit and returns the count.
+	EnqueueBurst(in []*mbuf.Mbuf) int
+	// Cap returns the ring capacity.
+	Cap() int
+	// Len returns an instantaneous element count (occupancy metrics only).
+	Len() int
+}
+
+// RingQueue adapts an MPMC ring of mbufs to RxRing.
 type RingQueue struct {
 	R *ring.MPMC[*mbuf.Mbuf]
 }
 
 // PollBurst implements RxQueue.
 func (q RingQueue) PollBurst(out []*mbuf.Mbuf) int { return q.R.DequeueBurst(out) }
+
+// Enqueue implements RxRing.
+func (q RingQueue) Enqueue(m *mbuf.Mbuf) bool { return q.R.Enqueue(m) }
+
+// EnqueueBurst implements RxRing.
+func (q RingQueue) EnqueueBurst(in []*mbuf.Mbuf) int { return q.R.EnqueueBurst(in) }
+
+// Cap implements RxRing.
+func (q RingQueue) Cap() int { return q.R.Cap() }
+
+// Len implements RxRing.
+func (q RingQueue) Len() int { return q.R.Len() }
+
+// SPSCQueue adapts a single-producer/single-consumer ring of mbufs to
+// RxRing — the fast path NewRxRing selects when a queue has exactly one
+// producer and one consumer: burst polls cost two atomic loads and one
+// release store instead of MPMC's CAS plus per-slot sequence traffic.
+type SPSCQueue struct {
+	R *ring.SPSC[*mbuf.Mbuf]
+}
+
+// PollBurst implements RxQueue.
+func (q SPSCQueue) PollBurst(out []*mbuf.Mbuf) int { return q.R.DequeueBurst(out) }
+
+// Enqueue implements RxRing.
+func (q SPSCQueue) Enqueue(m *mbuf.Mbuf) bool { return q.R.Enqueue(m) }
+
+// EnqueueBurst implements RxRing.
+func (q SPSCQueue) EnqueueBurst(in []*mbuf.Mbuf) int { return q.R.EnqueueBurst(in) }
+
+// Cap implements RxRing.
+func (q SPSCQueue) Cap() int { return q.R.Cap() }
+
+// Len implements RxRing.
+func (q SPSCQueue) Len() int { return q.R.Len() }
+
+// NewRxRing builds a ring-backed Rx queue of the given capacity (a power of
+// two >= 2) and selects the specialisation automatically: the SPSC fast
+// path when the queue has exactly one producer and one consumer, the MPMC
+// ring otherwise.
+//
+// Count consuming *entities*, not goroutines: a Runner is ONE consumer per
+// queue regardless of its M, because the per-queue trylock serialises every
+// PollBurst and the lock's atomic hand-off publishes each drain to the next
+// lock holder (the release/acquire edge SPSC needs). Multiple Runners — or
+// a Runner plus any out-of-band reader — sharing one queue are multiple
+// consumers and get the MPMC ring.
+func NewRxRing(capacity, producers, consumers int) (RxRing, error) {
+	if producers == 1 && consumers == 1 {
+		r, err := ring.NewSPSC[*mbuf.Mbuf](capacity)
+		if err != nil {
+			return nil, err
+		}
+		return SPSCQueue{R: r}, nil
+	}
+	r, err := ring.NewMPMC[*mbuf.Mbuf](capacity)
+	if err != nil {
+		return nil, err
+	}
+	return RingQueue{R: r}, nil
+}
 
 // Handler consumes one burst of packets. The handler owns the mbufs: it
 // must Free them (or hand them on) before returning control flow to the
@@ -53,7 +129,8 @@ type Config struct {
 	// Burst is the PollBurst size (default 32).
 	Burst int
 	// Policy names the scheduling discipline from the sched registry
-	// ("adaptive", "fixed", "busypoll", ...). Empty defaults to adaptive,
+	// ("adaptive", "fixed", "busypoll", "rmetronome", "worksteal", ...).
+	// Empty defaults to adaptive,
 	// or fixed when TSFixed is set. Like New's other validations, an
 	// unknown name panics at construction; pre-validate user-supplied
 	// names with sched.New / metronome.PolicyNames.
@@ -110,6 +187,7 @@ type Runner struct {
 	queues  []RxQueue
 	handler Handler
 	policy  sched.Policy
+	group   sched.GroupPolicy // non-nil when the policy binds service groups
 	state   []queueState
 	Stats   Stats
 
@@ -151,6 +229,7 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 		}),
 		state: make([]queueState, len(queues)),
 	}
+	r.group, _ = r.policy.(sched.GroupPolicy)
 	return r
 }
 
@@ -184,15 +263,26 @@ func (r *Runner) nanotime() int64 { return int64(time.Since(r.start)) }
 
 // threadLoop is Listing 2 on a goroutine.
 func (r *Runner) threadLoop(ctx context.Context, id int) {
-	rng := xrand.New(r.cfg.Seed ^ uint64(id)*0x9e3779b97f4a7c15)
+	// Each thread owns a private RNG stream (PickBackupQueue consumes it on
+	// the backup path) seeded from the full deployment coordinates — run
+	// seed, thread id AND queue count. Folding only (seed, id) would hand
+	// two runners with the same seed but different queue counts identical
+	// streams, correlating their backup choices; SeedFrom's chained mixing
+	// makes every coordinate perturb the whole stream (regression-tested by
+	// TestThreadRNGStreamsDependOnQueueCount).
+	rng := xrand.New(xrand.SeedFrom(r.cfg.Seed, uint64(id), uint64(len(r.queues))))
 	buf := make([]*mbuf.Mbuf, r.cfg.Burst)
 	q := id % len(r.queues)
 	for ctx.Err() == nil {
 		r.Stats.Tries.Add(1)
+		// Shared-queue disciplines CAS-claim the queue's service turn
+		// before touching its trylock: a failed claim proves a sibling
+		// claimed a turn concurrently, so this thread is surplus for the
+		// turn and backs off without bouncing the lock's cache line (the
+		// short-circuit skips the trylock). Either way a busy try means
+		// the policy re-targets the thread for its backup timeout.
 		st := &r.state[q]
-		if !st.lock.CompareAndSwap(false, true) {
-			// Busy try: let the policy re-target the thread and back off
-			// for its long timeout.
+		if (r.group != nil && !r.group.ClaimTurn(q)) || !st.lock.CompareAndSwap(false, true) {
 			r.Stats.BusyTries.Add(1)
 			tl := r.policy.TL(q)
 			q = r.policy.PickBackupQueue(q, rng)
@@ -222,6 +312,15 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		r.Stats.Cycles.Add(1)
 		st.lock.Store(false)
 
+		// Shared-queue disciplines keep service groups stable: a member
+		// that served a foreign queue as backup returns home and re-arms
+		// its home queue's member timeout.
+		if r.group != nil {
+			if home := r.group.HomeQueue(id); home != q {
+				q = home
+				ts = r.policy.TS(home)
+			}
+		}
 		r.cfg.Sleeper.Sleep(seconds(ts))
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
+	"metronome/internal/xrand"
 )
 
 // testBench wires a runner to rings fed by a producer goroutine.
@@ -346,5 +347,169 @@ func TestStaticPollerProcesses(t *testing.T) {
 	}
 	if sp.Polls.Load() == 0 {
 		t.Fatal("no polls")
+	}
+}
+
+// TestThreadRNGStreamsDependOnQueueCount is the regression test for the
+// per-thread RNG seeding: two runners built from the same seed but
+// different queue counts must not share backup-selection streams, and the
+// streams must stay reproducible for identical deployments. It asserts on
+// the same xrand.SeedFrom derivation threadLoop uses.
+func TestThreadRNGStreamsDependOnQueueCount(t *testing.T) {
+	draw := func(seed uint64, id, queues int) []uint64 {
+		rng := xrand.New(xrand.SeedFrom(seed, uint64(id), uint64(queues)))
+		out := make([]uint64, 8)
+		for i := range out {
+			out[i] = rng.Uint64()
+		}
+		return out
+	}
+	same := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Reproducible per deployment shape.
+	if !same(draw(42, 0, 2), draw(42, 0, 2)) {
+		t.Fatal("same deployment, different streams")
+	}
+	// Different queue counts, same seed and thread id: different streams.
+	for id := 0; id < 4; id++ {
+		if same(draw(42, id, 2), draw(42, id, 3)) {
+			t.Fatalf("thread %d shares its stream across queue counts", id)
+		}
+	}
+	// Different threads of one runner: different streams.
+	if same(draw(42, 0, 2), draw(42, 1, 2)) {
+		t.Fatal("sibling threads share a stream")
+	}
+}
+
+// TestRMetronomeLiveEndToEnd drives the shared-queue discipline on real
+// goroutines: packets flow, turns are claimed, and backups return home.
+func TestRMetronomeLiveEndToEnd(t *testing.T) {
+	for _, policy := range []string{"rmetronome", "worksteal"} {
+		bench := newBench(t, 2)
+		var processed atomic.Uint64
+		handler := func(batch []*mbuf.Mbuf) {
+			for _, m := range batch {
+				processed.Add(1)
+				m.Free()
+			}
+		}
+		r := New(bench.queues, handler, Config{M: 4, VBar: 100 * time.Microsecond, Seed: 6, Policy: policy})
+		if r.group == nil {
+			t.Fatalf("%s: runner has no GroupPolicy", policy)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); r.Run(ctx) }()
+		sent := bench.produce(ctx, 5000)
+		deadline := time.Now().Add(5 * time.Second)
+		for processed.Load() < uint64(sent) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		wg.Wait()
+		if processed.Load() != uint64(sent) {
+			t.Fatalf("%s: processed %d of %d", policy, processed.Load(), sent)
+		}
+		turns := r.group.Turns(0) + r.group.Turns(1)
+		if turns == 0 {
+			t.Fatalf("%s: no service turns claimed", policy)
+		}
+		// Claims are admission: every completed cycle consumed a turn.
+		if cycles := r.Stats.Cycles.Load(); turns < cycles {
+			t.Fatalf("%s: %d turns < %d cycles", policy, turns, cycles)
+		}
+	}
+}
+
+// TestRunnerOnSPSCFastPath runs a full Runner over NewRxRing-selected SPSC
+// queues: one producer goroutine per queue, the Runner as the single
+// consuming entity (M > 1 is fine — the per-queue trylock serialises every
+// PollBurst and its atomic hand-off publishes each drain to the next lock
+// holder). Run with -race to check that claim.
+func TestRunnerOnSPSCFastPath(t *testing.T) {
+	pool := mbuf.NewPool(4096)
+	rings := make([]RxRing, 2)
+	queues := make([]RxQueue, 2)
+	for i := range rings {
+		rr, err := NewRxRing(1024, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rr.(SPSCQueue); !ok {
+			t.Fatalf("NewRxRing(_, 1, 1) = %T, want the SPSC fast path", rr)
+		}
+		rings[i] = rr
+		queues[i] = rr
+	}
+	if rr, _ := NewRxRing(1024, 2, 1); rr != nil {
+		if _, ok := rr.(RingQueue); !ok {
+			t.Fatalf("NewRxRing(_, 2, 1) = %T, want MPMC", rr)
+		}
+	}
+	var processed atomic.Uint64
+	r := New(queues, func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			processed.Add(1)
+			m.Free()
+		}
+	}, Config{M: 3, VBar: 100 * time.Microsecond, Seed: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	const perQueue = 5000
+	var prodWG sync.WaitGroup
+	for qi := range rings {
+		prodWG.Add(1)
+		go func(qi int) { // exactly one producer goroutine per SPSC ring
+			defer prodWG.Done()
+			burst := make([]*mbuf.Mbuf, 0, 16)
+			sent := 0
+			for sent < perQueue && ctx.Err() == nil {
+				burst = burst[:0]
+				for len(burst) < cap(burst) && sent+len(burst) < perQueue {
+					m, err := pool.Get()
+					if err != nil {
+						break
+					}
+					m.SetFrame([]byte{byte(qi)})
+					burst = append(burst, m)
+				}
+				if len(burst) == 0 {
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				n := rings[qi].EnqueueBurst(burst)
+				for _, m := range burst[n:] {
+					m.Free()
+				}
+				sent += n
+				if n == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(qi)
+	}
+	prodWG.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for processed.Load() < 2*perQueue && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if processed.Load() != 2*perQueue {
+		t.Fatalf("processed %d of %d", processed.Load(), 2*perQueue)
+	}
+	if pool.Available() != pool.Size() {
+		t.Fatalf("pool leak: %d/%d", pool.Available(), pool.Size())
 	}
 }

@@ -158,3 +158,98 @@ func TestBusyPollSubsumesStaticBaseline(t *testing.T) {
 		t.Errorf("busypoll mean vacation = %v s, want ~wake overhead", m.MeanVacation)
 	}
 }
+
+// newTwinsPolicy builds the twins pinned to one discipline.
+func newTwinsPolicy(t *testing.T, policy string, m, n int) (*core.Runtime, *runtime.Runner) {
+	t.Helper()
+	eng := sim.New()
+	root := xrand.New(1)
+	queues := make([]*nic.Queue, n)
+	for i := range queues {
+		queues[i] = nic.NewQueue(i, traffic.CBR{PPS: 0}, root.Split(), nic.DefaultOptions())
+	}
+	simCfg := core.DefaultConfig()
+	simCfg.M = m
+	simCfg.VBar = 10e-6
+	simCfg.TL = 500e-6
+	simCfg.Alpha = 0.125
+	simCfg.Policy = policy
+	rt := core.New(eng, queues, simCfg)
+
+	rxs := make([]runtime.RxQueue, n)
+	for i := range rxs {
+		r, err := ring.NewMPMC[*mbuf.Mbuf](8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rxs[i] = runtime.RingQueue{R: r}
+	}
+	runner := runtime.New(rxs, func([]*mbuf.Mbuf) {}, runtime.Config{
+		M:      m,
+		VBar:   10 * time.Microsecond,
+		TL:     500 * time.Microsecond,
+		Alpha:  0.125,
+		Policy: policy,
+	})
+	return rt, runner
+}
+
+// TestSimLiveRMetronomeEquivalence mirrors TestSimLiveTSEquivalence for the
+// shared-queue disciplines: identical cycle sequences must produce
+// bit-identical member timeouts, rotation-scaled backup timeouts, rho
+// estimates, group shapes and home assignments on both substrates.
+func TestSimLiveRMetronomeEquivalence(t *testing.T) {
+	cycles := []struct{ busy, vacation float64 }{
+		{0, 100e-6},
+		{5e-6, 20e-6},
+		{50e-6, 10e-6},
+		{200e-6, 5e-6},
+		{1e-6, 300e-6},
+		{80e-6, 8e-6},
+		{3e-6, 3e-6},
+	}
+	for _, policy := range []string{sched.NameRMetronome, sched.NameWorkSteal} {
+		for _, shape := range []struct{ m, n int }{{4, 2}, {6, 3}, {7, 3}} {
+			rt, runner := newTwinsPolicy(t, policy, shape.m, shape.n)
+			simPol, livePol := rt.Policy(), runner.Policy()
+			if simPol.Name() != policy || livePol.Name() != policy {
+				t.Fatalf("policy names: sim %q live %q, want %q", simPol.Name(), livePol.Name(), policy)
+			}
+			simG, liveG := rt.Group(), livePol.(sched.GroupPolicy)
+			if simG == nil {
+				t.Fatal("sim twin has no GroupPolicy")
+			}
+			for id := 0; id < shape.m; id++ {
+				if simG.HomeQueue(id) != liveG.HomeQueue(id) {
+					t.Fatalf("%s M=%d N=%d: home of thread %d differs: %d vs %d",
+						policy, shape.m, shape.n, id, simG.HomeQueue(id), liveG.HomeQueue(id))
+				}
+			}
+			for q := 0; q < shape.n; q++ {
+				if simG.GroupSize(q) != liveG.GroupSize(q) {
+					t.Fatalf("%s q=%d: group size %d vs %d", policy, q, simG.GroupSize(q), liveG.GroupSize(q))
+				}
+				if simPol.TS(q) != livePol.TS(q) {
+					t.Fatalf("%s q=%d: initial TS %v != %v", policy, q, simPol.TS(q), livePol.TS(q))
+				}
+				for i, c := range cycles {
+					sTS := simPol.ObserveCycle(q, c.busy, c.vacation)
+					lTS := livePol.ObserveCycle(q, c.busy, c.vacation)
+					if sTS != lTS {
+						t.Fatalf("%s M=%d N=%d q=%d cycle %d: sim TS %v != live TS %v",
+							policy, shape.m, shape.n, q, i, sTS, lTS)
+					}
+					if simPol.TL(q) != livePol.TL(q) {
+						t.Fatalf("%s q=%d cycle %d: TL %v != %v", policy, q, i, simPol.TL(q), livePol.TL(q))
+					}
+					if want := float64(simG.GroupSize(q)) * sTS; simPol.TL(q) != want {
+						t.Fatalf("%s q=%d: TL = %v, want one rotation r*TS = %v", policy, q, simPol.TL(q), want)
+					}
+					if simPol.Rho(q) != livePol.Rho(q) {
+						t.Fatalf("%s q=%d cycle %d: rho %v != %v", policy, q, i, simPol.Rho(q), livePol.Rho(q))
+					}
+				}
+			}
+		}
+	}
+}

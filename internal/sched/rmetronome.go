@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"math"
+	"sync/atomic"
+
+	"metronome/internal/model"
+)
+
+// NameRMetronome selects the shared-queue service-group discipline with
+// uniform backup re-targeting.
+const NameRMetronome = "rmetronome"
+
+// NameWorkSteal selects the shared-queue discipline with work-stealing
+// backup selection: a lost-race thread scans sibling queues by observed
+// occupancy instead of picking uniformly at random.
+const NameWorkSteal = "worksteal"
+
+func init() {
+	Register(NameRMetronome, func(cfg Config) Policy { return NewRMetronome(cfg, false) })
+	Register(NameWorkSteal, func(cfg Config) Policy { return NewRMetronome(cfg, true) })
+}
+
+// RMetronome is the shared-queue r-Metronome discipline behind the paper's
+// multi-queue evaluation (Sec. V, fig. 13-15): the M threads are
+// partitioned into stable per-queue service groups of r = M/N members
+// (remainder spread round-robin), and each queue carries a monotonic
+// service-turn counter its members CAS-claim before contending the queue.
+//
+// Two things distinguish it from the plain adaptive discipline over N
+// queues:
+//
+//   - Timeouts come from eq. (13) with the *integer* group size r_q rather
+//     than eq. (14)'s real-valued average M/N, and the group actually holds
+//     that size: a member that serves a foreign queue as backup returns
+//     home afterwards, so the "r threads attend this queue" assumption the
+//     timeout is derived from stays true instead of drifting.
+//   - The CAS-claimed turn counter resolves sibling wake-up collisions on a
+//     policy-owned cache line before the queue's trylock is touched: a
+//     member whose claim fails has proof a sibling is already on the queue
+//     this turn and goes straight to the backup path.
+//
+// The work-stealing variant changes only backup selection: instead of the
+// Sec. IV-E uniform random pick it ranks sibling queues by the policy's own
+// observed-occupancy signal (the eq. (11) rho EWMA) and re-targets the
+// busiest one, so backup capacity flows where service turns are being
+// missed. Exact rho ties are broken uniformly at random, which makes the
+// cold start (all rho zero) degenerate to the uniform pick.
+type RMetronome struct {
+	base
+	steal bool
+	home  []int // home[thread] = the thread's home queue (thread % N)
+	size  []int // size[q] = r_q, members of queue q's service group
+	turns []atomic.Uint64
+}
+
+// NewRMetronome builds the shared-queue policy; steal selects the
+// work-stealing backup discipline.
+func NewRMetronome(cfg Config, steal bool) *RMetronome {
+	p := &RMetronome{
+		base:  newBase(cfg),
+		steal: steal,
+	}
+	p.home = make([]int, p.cfg.M)
+	p.size = make([]int, p.cfg.N)
+	for i := 0; i < p.cfg.M; i++ {
+		q := i % p.cfg.N
+		p.home[i] = q
+		p.size[q]++
+	}
+	p.turns = make([]atomic.Uint64, p.cfg.N)
+	for q := range p.ts {
+		p.ts[q].Store(p.evaluate(q, 0))
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *RMetronome) Name() string {
+	if p.steal {
+		return NameWorkSteal
+	}
+	return NameRMetronome
+}
+
+// evaluate is eq. (13) for queue q's service group: r_q members each sleep
+// this member timeout so the group holds the queue's mean vacation at VBar.
+// A queue left without members (M < N) falls back to a single attendant.
+func (p *RMetronome) evaluate(q int, rho float64) float64 {
+	r := p.size[q]
+	if r < 1 {
+		r = 1
+	}
+	return model.TSForTarget(p.cfg.VBar, rho, r)
+}
+
+// ObserveCycle implements Policy.
+func (p *RMetronome) ObserveCycle(q int, busy, vacation float64) float64 {
+	ts := p.evaluate(q, p.est.Observe(q, busy, vacation))
+	p.ts[q].Store(ts)
+	return ts
+}
+
+// TL implements Policy: a group member that loses a race backs off one
+// full rotation of queue q's service group — r_q member timeouts — not the
+// configured long backup timeout. The paper's TL >> TS parks *redundant*
+// threads (its single-queue team is M=3 over one queue, so at most one
+// thread is ever needed); an eq. (13) group of r members is exactly
+// provisioned — every member is a needed attendant — and exiling one for
+// hundreds of microseconds leaves its home queue under-attended (both
+// members of an r=2 group can end up exiled at once, abandoning the queue
+// outright and overflowing even a 4096-descriptor ring). One rotation is
+// the natural re-probe period: the sibling that won the race will have
+// served and re-armed by then, and a visiting backup samples the foreign
+// queue once per rotation instead of racing its whole group every turn.
+func (p *RMetronome) TL(q int) float64 {
+	r := p.size[q]
+	if r < 1 {
+		r = 1
+	}
+	return float64(r) * p.TS(q)
+}
+
+// HomeQueue implements GroupPolicy.
+func (p *RMetronome) HomeQueue(thread int) int {
+	return p.home[thread%len(p.home)]
+}
+
+// GroupSize implements GroupPolicy.
+func (p *RMetronome) GroupSize(q int) int { return p.size[q] }
+
+// ClaimTurn implements GroupPolicy: one CAS on queue q's turn counter. In
+// the live runtime the claim is the admission filter ahead of the queue
+// trylock — a failed CAS proves a sibling claimed a turn concurrently. The
+// sequential sim twin can never lose the CAS; there the counter is pure
+// turn accounting.
+func (p *RMetronome) ClaimTurn(q int) bool {
+	t := p.turns[q].Load()
+	return p.turns[q].CompareAndSwap(t, t+1)
+}
+
+// Turns implements GroupPolicy.
+func (p *RMetronome) Turns(q int) uint64 { return p.turns[q].Load() }
+
+// PickBackupQueue implements Policy. The uniform variant keeps the base
+// Sec. IV-E behaviour; the work-stealing variant scans sibling queues for
+// the highest observed occupancy.
+func (p *RMetronome) PickBackupQueue(cur int, rng Rand) int {
+	if !p.steal || p.cfg.N <= 1 || p.cfg.BackupSticky {
+		return p.base.PickBackupQueue(cur, rng)
+	}
+	best, bestRho, ties := cur, math.Inf(-1), 0
+	for q := 0; q < p.cfg.N; q++ {
+		if q == cur {
+			continue
+		}
+		rho := p.est.Rho(q)
+		switch {
+		case rho > bestRho:
+			best, bestRho, ties = q, rho, 1
+		case rho == bestRho:
+			// Reservoir over exact ties: uniform among the tied maxima.
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = q
+			}
+		}
+	}
+	return best
+}

@@ -85,6 +85,29 @@ type Policy interface {
 	Estimator() *RhoEstimator
 }
 
+// GroupPolicy is an optional Policy extension for shared-queue disciplines
+// that bind threads into stable per-queue service groups and arbitrate
+// service turns with an explicit claim. Both execution substrates probe for
+// it with a type assertion: when present, a thread that finishes a cycle on
+// a foreign queue returns to its home queue, and the wake path consults
+// ClaimTurn. In the live runtime the claim runs *before* the queue trylock
+// as a cheap admission filter (a failed CAS proves a sibling claimed a
+// turn concurrently, so the thread goes straight to the backup path without
+// bouncing the queue's lock cache line); in the sequential sim twin the
+// claim is taken after the lock check and can never fail, making Turns(q)
+// an exact count of the service turns queue q has begun.
+type GroupPolicy interface {
+	// HomeQueue returns thread id's home queue.
+	HomeQueue(thread int) int
+	// GroupSize returns how many threads queue q's service group holds.
+	GroupSize(q int) int
+	// ClaimTurn attempts to CAS-claim queue q's next service turn; false
+	// means a sibling claimed a turn between the caller's load and CAS.
+	ClaimTurn(q int) bool
+	// Turns returns the number of service turns claimed on queue q so far.
+	Turns(q int) uint64
+}
+
 // Factory builds a policy instance for a deployment.
 type Factory func(Config) Policy
 

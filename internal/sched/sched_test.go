@@ -158,7 +158,7 @@ func TestPickBackupQueue(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	for _, name := range []string{NameAdaptive, NameFixed, NameBusyPoll} {
+	for _, name := range []string{NameAdaptive, NameFixed, NameBusyPoll, NameRMetronome, NameWorkSteal} {
 		found := false
 		for _, n := range Names() {
 			if n == name {
@@ -188,4 +188,123 @@ func TestRegistry(t *testing.T) {
 		}
 	}()
 	MustNew("still-missing", testConfig())
+}
+
+func TestRMetronomeGroups(t *testing.T) {
+	cfg := testConfig()
+	cfg.M, cfg.N = 7, 3 // groups of 3/2/2
+	for _, name := range []string{NameRMetronome, NameWorkSteal} {
+		p := MustNew(name, cfg)
+		if p.Name() != name {
+			t.Fatalf("Name() = %q, want %q", p.Name(), name)
+		}
+		g, ok := p.(GroupPolicy)
+		if !ok {
+			t.Fatalf("%s does not implement GroupPolicy", name)
+		}
+		wantSize := []int{3, 2, 2}
+		total := 0
+		for q := 0; q < cfg.N; q++ {
+			if g.GroupSize(q) != wantSize[q] {
+				t.Errorf("%s: GroupSize(%d) = %d, want %d", name, q, g.GroupSize(q), wantSize[q])
+			}
+			total += g.GroupSize(q)
+		}
+		if total != cfg.M {
+			t.Errorf("%s: group sizes sum to %d, want M=%d", name, total, cfg.M)
+		}
+		for i := 0; i < cfg.M; i++ {
+			if got, want := g.HomeQueue(i), i%cfg.N; got != want {
+				t.Errorf("%s: HomeQueue(%d) = %d, want %d", name, i, got, want)
+			}
+		}
+		// Member timeouts follow eq. (13) with the integer group size, not
+		// eq. (14)'s real-valued M/N average.
+		for q := 0; q < cfg.N; q++ {
+			driveTo(p, q, 0.4)
+			if got, want := p.TS(q), model.TSForTarget(cfg.VBar, 0.4, wantSize[q]); got != want {
+				t.Errorf("%s: TS(%d) = %v, want eq.13 with r=%d: %v", name, q, got, wantSize[q], want)
+			}
+		}
+	}
+}
+
+func TestRMetronomeClaimTurn(t *testing.T) {
+	cfg := testConfig()
+	cfg.M, cfg.N = 4, 2
+	g := MustNew(NameRMetronome, cfg).(GroupPolicy)
+	for i := uint64(0); i < 5; i++ {
+		if g.Turns(0) != i {
+			t.Fatalf("Turns(0) = %d before claim %d", g.Turns(0), i)
+		}
+		if !g.ClaimTurn(0) {
+			t.Fatalf("sequential claim %d failed", i)
+		}
+	}
+	if g.Turns(1) != 0 {
+		t.Fatalf("queue 1 turns contaminated: %d", g.Turns(1))
+	}
+}
+
+func TestWorkStealPicksBusiestQueue(t *testing.T) {
+	rng := xrand.New(11)
+	cfg := testConfig()
+	cfg.M, cfg.N = 8, 4
+	p := MustNew(NameWorkSteal, cfg)
+	est := p.Estimator()
+	est.Set(0, 0.1)
+	est.Set(1, 0.9) // the hot queue
+	est.Set(2, 0.3)
+	est.Set(3, 0.2)
+	for i := 0; i < 20; i++ {
+		if got := p.PickBackupQueue(0, rng); got != 1 {
+			t.Fatalf("pick from q0 = %d, want the hottest sibling 1", got)
+		}
+	}
+	// The current queue is excluded even when it is the hottest.
+	for i := 0; i < 20; i++ {
+		if got := p.PickBackupQueue(1, rng); got != 2 {
+			t.Fatalf("pick from q1 = %d, want next-hottest 2", got)
+		}
+	}
+	// Cold start: all-zero rho ties degenerate to a uniform pick.
+	cold := MustNew(NameWorkSteal, cfg)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		q := cold.PickBackupQueue(3, rng)
+		if q == 3 {
+			t.Fatalf("cold pick returned the current queue")
+		}
+		seen[q] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("cold ties not uniform across siblings: %v", seen)
+	}
+	// The uniform variant ignores occupancy entirely.
+	uni := MustNew(NameRMetronome, cfg)
+	uni.Estimator().Set(1, 0.9)
+	seen = map[int]bool{}
+	for i := 0; i < 300; i++ {
+		seen[uni.PickBackupQueue(0, rng)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("uniform variant never covered all queues: %v", seen)
+	}
+}
+
+func TestWorkStealSingleQueueAndSticky(t *testing.T) {
+	rng := xrand.New(3)
+	one := MustNew(NameWorkSteal, testConfig())
+	if got := one.PickBackupQueue(0, rng); got != 0 {
+		t.Fatalf("N=1 pick = %d", got)
+	}
+	cfg := testConfig()
+	cfg.M, cfg.N, cfg.BackupSticky = 4, 4, true
+	sticky := MustNew(NameWorkSteal, cfg)
+	sticky.Estimator().Set(2, 0.9)
+	for i := 0; i < 10; i++ {
+		if got := sticky.PickBackupQueue(0, rng); got != 0 {
+			t.Fatalf("sticky worksteal pick = %d", got)
+		}
+	}
 }

@@ -38,6 +38,22 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// SeedFrom folds structured coordinates (a run seed, a thread id, a queue
+// count, ...) into one well-mixed 64-bit seed by chaining splitmix64 over
+// the parts. Unlike xor-folding raw words — where (seed, id, n) tuples can
+// collide structurally — the chaining feeds each part through the previous
+// mixed state, so every coordinate perturbs the whole output and streams
+// derived from nearby tuples stay uncorrelated. The live runtime uses it to
+// give each retrieval goroutine a stream that depends on the deployment
+// shape, not just the thread index.
+func SeedFrom(parts ...uint64) uint64 {
+	x, out := splitmix64(0x243f6a8885a308d3) // pi fractional bits: arbitrary non-zero salt
+	for _, p := range parts {
+		x, out = splitmix64(x ^ p)
+	}
+	return out
+}
+
 func splitmix64(x uint64) (next, out uint64) {
 	x += 0x9e3779b97f4a7c15
 	z := x

@@ -61,6 +61,12 @@ type (
 	Runner = runtime.Runner
 	// StaticPoller is the busy-polling comparator (Listing 1).
 	StaticPoller = runtime.StaticPoller
+	// RxRing is a ring-backed RxQueue with its producer side exposed;
+	// NewRxRing picks the cheapest safe ring specialisation.
+	RxRing = runtime.RxRing
+	// SPSCQueue adapts a single-producer/single-consumer ring to RxRing —
+	// the fast path for queues with exactly one producer and one consumer.
+	SPSCQueue = runtime.SPSCQueue
 	// Sleeper abstracts the sleep service used between polls.
 	Sleeper = hrtimer.Sleeper
 	// GoSleeper sleeps with plain time.Sleep.
@@ -81,6 +87,16 @@ func NewRing(capacity int) (*Ring, error) {
 	return ring.NewMPMC[*mbuf.Mbuf](capacity)
 }
 
+// NewRxRing builds a ring-backed Rx queue and selects the specialisation
+// automatically: the SPSC fast path when the queue has exactly one producer
+// and one consumer, the MPMC ring otherwise. A Runner counts as one
+// consumer per queue regardless of its thread count — its per-queue trylock
+// serialises every poll and the lock hand-off publishes each drain to the
+// next holder.
+func NewRxRing(capacity, producers, consumers int) (RxRing, error) {
+	return runtime.NewRxRing(capacity, producers, consumers)
+}
+
 // NewRunner builds the real-time Metronome over the given queues.
 func NewRunner(queues []RxQueue, handler Handler, cfg RunnerConfig) *Runner {
 	return runtime.New(queues, handler, cfg)
@@ -99,6 +115,10 @@ type (
 	SchedConfig = sched.Config
 	// RhoEstimator is the shared per-queue EWMA load estimator (eq. 11).
 	RhoEstimator = sched.RhoEstimator
+	// SchedGroupPolicy is the optional Policy extension shared-queue
+	// disciplines implement: per-queue service groups, home queues, and
+	// CAS-claimed service turns.
+	SchedGroupPolicy = sched.GroupPolicy
 )
 
 // Built-in policy names for SimConfig.Policy / RunnerConfig.Policy.
@@ -109,6 +129,14 @@ const (
 	PolicyFixed = sched.NameFixed
 	// PolicyBusyPoll never sleeps — classic DPDK polling (Listing 1).
 	PolicyBusyPoll = sched.NameBusyPoll
+	// PolicyRMetronome binds threads into stable per-queue service groups
+	// of r = M/N members with CAS-claimed service turns and uniform backup
+	// re-targeting (the shared-queue discipline behind fig. 13-15).
+	PolicyRMetronome = sched.NameRMetronome
+	// PolicyWorkSteal is PolicyRMetronome with work-stealing backup
+	// selection: lost-race threads re-target the sibling queue with the
+	// highest observed occupancy instead of a uniform random pick.
+	PolicyWorkSteal = sched.NameWorkSteal
 )
 
 // NewPolicy instantiates a registered scheduling discipline by name.
