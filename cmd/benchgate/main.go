@@ -1,13 +1,19 @@
 // Command benchgate is the CI bench-regression gate: it reads `go test
-// -bench` output on stdin, extracts every sample of one benchmark, and
-// fails (exit 1) when the measurement regresses past the committed
-// baseline's gate block.
+// -bench` output on stdin, extracts every sample of the gated benchmarks,
+// and fails (exit 1) when a measurement regresses past the committed
+// baseline's gate block(s).
 //
-// Allocations are deterministic for our simulator hot path, so allocs/op is
-// compared exactly: one alloc over the baseline fails. Wall time on shared
-// CI runners is not deterministic, so ns/op gets a generous guard factor,
-// and the best of the -count samples is compared (the minimum is the least
-// noisy location statistic for a time measurement).
+// Allocations are deterministic for our hot paths, so allocs/op is
+// compared exactly: one alloc over the baseline fails (a zero budget is
+// expressed as max_allocs_per_op 0). Wall time on shared CI runners is not
+// deterministic, so ns/op gets a generous guard factor, and the best of
+// the -count samples is compared (the minimum is the least noisy location
+// statistic for a time measurement).
+//
+// A baseline file carries either a single "gate" block or a "gates" array
+// — BENCH_simulate.json gates the simulator loop, BENCH_ring.json gates
+// both ring specialisations, BENCH_telemetry.json pins the telemetry
+// plane's publish+sample at zero allocations.
 //
 // Usage:
 //
@@ -25,19 +31,30 @@ import (
 	"strings"
 )
 
-// baseline mirrors the gate block of a BENCH_*.json file.
+// gate is one benchmark's regression budget.
+type gate struct {
+	Benchmark       string  `json:"benchmark"`
+	MaxAllocsPerOp  int64   `json:"max_allocs_per_op"`
+	NsPerOpRef      float64 `json:"ns_per_op_ref"`
+	TimeGuardFactor float64 `json:"time_guard_factor"`
+}
+
+// baseline mirrors the gate block(s) of a BENCH_*.json file.
 type baseline struct {
-	Gate struct {
-		Benchmark       string  `json:"benchmark"`
-		MaxAllocsPerOp  int64   `json:"max_allocs_per_op"`
-		NsPerOpRef      float64 `json:"ns_per_op_ref"`
-		TimeGuardFactor float64 `json:"time_guard_factor"`
-	} `json:"gate"`
+	Gate  gate   `json:"gate"`
+	Gates []gate `json:"gates"`
+}
+
+// sample aggregates the stdin measurements of one benchmark.
+type sample struct {
+	n         int
+	minNs     float64
+	maxAllocs int64
 }
 
 func main() {
 	var (
-		path = flag.String("baseline", "BENCH_simulate.json", "baseline JSON with a gate block")
+		path = flag.String("baseline", "BENCH_simulate.json", "baseline JSON with a gate block or gates array")
 	)
 	flag.Parse()
 
@@ -49,24 +66,32 @@ func main() {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		fatal("parse baseline %s: %v", *path, err)
 	}
-	if b.Gate.Benchmark == "" || b.Gate.MaxAllocsPerOp <= 0 {
+	gates := b.Gates
+	if b.Gate.Benchmark != "" {
+		gates = append(gates, b.Gate)
+	}
+	if len(gates) == 0 {
 		fatal("baseline %s has no usable gate block", *path)
 	}
-	if b.Gate.TimeGuardFactor <= 0 {
-		b.Gate.TimeGuardFactor = 3
+	byName := make(map[string]*gate, len(gates))
+	for i := range gates {
+		g := &gates[i]
+		if g.TimeGuardFactor <= 0 {
+			g.TimeGuardFactor = 3
+		}
+		byName[g.Benchmark] = g
 	}
 
-	var (
-		samples   int
-		minNs     float64
-		maxAllocs int64
-	)
+	seen := map[string]*sample{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		line := sc.Text()
-		fields := strings.Fields(line)
+		fields := strings.Fields(sc.Text())
 		// "BenchmarkName-8   3   1064763 ns/op   55243 B/op   85 allocs/op"
-		if len(fields) < 2 || strings.SplitN(fields[0], "-", 2)[0] != b.Gate.Benchmark {
+		if len(fields) < 2 {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0]
+		if _, gated := byName[name]; !gated {
 			continue
 		}
 		ns, okNs := valueBefore(fields, "ns/op")
@@ -74,38 +99,52 @@ func main() {
 		if !okNs || !okAl {
 			continue
 		}
-		if samples == 0 || ns < minNs {
-			minNs = ns
+		s := seen[name]
+		if s == nil {
+			s = &sample{minNs: ns, maxAllocs: int64(allocs)}
+			seen[name] = s
 		}
-		if a := int64(allocs); samples == 0 || a > maxAllocs {
-			maxAllocs = a
+		if ns < s.minNs {
+			s.minNs = ns
 		}
-		samples++
-		fmt.Printf("benchgate: sample %d: %.0f ns/op, %d allocs/op\n", samples, ns, int64(allocs))
+		if a := int64(allocs); a > s.maxAllocs {
+			s.maxAllocs = a
+		}
+		s.n++
+		fmt.Printf("benchgate: %s sample %d: %.0f ns/op, %d allocs/op\n", name, s.n, ns, int64(allocs))
 	}
 	if err := sc.Err(); err != nil {
 		fatal("read stdin: %v", err)
 	}
-	if samples == 0 {
-		fatal("no %s samples on stdin (did the benchmark run with -benchmem?)", b.Gate.Benchmark)
-	}
 
 	fail := false
-	if maxAllocs > b.Gate.MaxAllocsPerOp {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL allocs/op %d > baseline %d (allocations are deterministic: this is a real regression)\n",
-			maxAllocs, b.Gate.MaxAllocsPerOp)
-		fail = true
-	}
-	if limit := b.Gate.NsPerOpRef * b.Gate.TimeGuardFactor; b.Gate.NsPerOpRef > 0 && minNs > limit {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL best ns/op %.0f > %.1fx baseline %.0f (guard factor absorbs shared-runner noise; this is beyond it)\n",
-			minNs, b.Gate.TimeGuardFactor, b.Gate.NsPerOpRef)
-		fail = true
+	for _, g := range gates {
+		s := seen[g.Benchmark]
+		if s == nil {
+			fatal("no %s samples on stdin (did the benchmark run with -benchmem?)", g.Benchmark)
+		}
+		// Check both budgets so one CI run surfaces every violation.
+		gateFail := false
+		if s.maxAllocs > g.MaxAllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s allocs/op %d > baseline %d (allocations are deterministic: this is a real regression)\n",
+				g.Benchmark, s.maxAllocs, g.MaxAllocsPerOp)
+			gateFail = true
+		}
+		if limit := g.NsPerOpRef * g.TimeGuardFactor; g.NsPerOpRef > 0 && s.minNs > limit {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s best ns/op %.0f > %.1fx baseline %.0f (guard factor absorbs shared-runner noise; this is beyond it)\n",
+				g.Benchmark, s.minNs, g.TimeGuardFactor, g.NsPerOpRef)
+			gateFail = true
+		}
+		if gateFail {
+			fail = true
+			continue
+		}
+		fmt.Printf("benchgate: PASS %s: best %.0f ns/op (<= %.1fx %.0f), worst %d allocs/op (<= %d)\n",
+			g.Benchmark, s.minNs, g.TimeGuardFactor, g.NsPerOpRef, s.maxAllocs, g.MaxAllocsPerOp)
 	}
 	if fail {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: PASS %s: best %.0f ns/op (<= %.1fx %.0f), worst %d allocs/op (<= %d)\n",
-		b.Gate.Benchmark, minNs, b.Gate.TimeGuardFactor, b.Gate.NsPerOpRef, maxAllocs, b.Gate.MaxAllocsPerOp)
 }
 
 // valueBefore returns the numeric field immediately preceding the given

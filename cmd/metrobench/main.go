@@ -26,6 +26,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
 		seed     = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
 		policy   = flag.String("policy", "", "re-run deployments under this scheduling discipline: "+strings.Join(sched.Names(), "|"))
+		elastic  = flag.Bool("elastic", false, "attach the elastic control plane (default tuning, 2M budget) to deployments on the common single-queue path")
 		parallel = flag.Int("parallel", 0, "simulations to run concurrently per sweep (0 = GOMAXPROCS); output is identical at any setting")
 		doc      = flag.Bool("doc", false, "print the EXPERIMENTS.md paper-vs-measured skeleton and exit")
 	)
@@ -55,7 +56,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Policy: *policy, Parallel: *parallel}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Policy: *policy, Elastic: *elastic, Parallel: *parallel}
 	if *run == "all" {
 		for _, e := range experiments.All() {
 			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)

@@ -39,6 +39,12 @@ func main() {
 		doTrace  = flag.Bool("trace", false, "print a 1ms thread-state timeline (Fig 3 style)")
 		runs     = flag.Int("runs", 1, "independent replicas over seeds seed..seed+runs-1 (summary table + mean row)")
 		parallel = flag.Int("parallel", 0, "replicas to simulate concurrently (0 = GOMAXPROCS)")
+
+		elastic       = flag.Bool("elastic", false, "attach the elastic control plane: autoscale the thread team between -elastic-min and -elastic-budget")
+		elasticMin    = flag.Int("elastic-min", 0, "elastic team floor (default: queue count)")
+		elasticBudget = flag.Int("elastic-budget", 0, "elastic core budget / team ceiling (default: 2*m)")
+		elasticPeriod = flag.Duration("elastic-period", time.Millisecond, "elastic control period")
+		elasticOcc    = flag.Float64("elastic-occ", 0.10, "elastic wake-time occupancy target (fraction of ring capacity)")
 	)
 	flag.Parse()
 
@@ -80,7 +86,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "metrosim: -trace applies to single runs only")
 			os.Exit(1)
 		}
+		if *elastic {
+			fmt.Fprintln(os.Stderr, "metrosim: -elastic applies to single runs only")
+			os.Exit(1)
+		}
 		runReplicas(cfg, arrivals, *d, *runs, *parallel, pps, *queues)
+		return
+	}
+
+	if *elastic {
+		ecfg := metronome.DefaultElasticConfig(*elasticMin, *elasticBudget)
+		if ecfg.MinThreads <= 0 {
+			ecfg.MinThreads = *queues
+		}
+		if ecfg.Budget <= 0 {
+			ecfg.Budget = 2 * *m
+		}
+		ecfg.Period = elasticPeriod.Seconds()
+		ecfg.TargetOccupancy = *elasticOcc
+		met, rep := metronome.SimulateElastic(cfg, ecfg, arrivals, *d)
+		fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v, policy %s, elastic %d..%d\n",
+			pps/1e6, *queues, *d, core.PolicyName(cfg), ecfg.MinThreads, ecfg.Budget)
+		fmt.Printf("throughput:     %.2f Mpps   loss: %.4f permille\n", met.ThroughputPPS/1e6, met.LossRate*1000)
+		fmt.Printf("cpu:            %.1f%% total\n", met.CPUPercent)
+		fmt.Printf("vacation:       mean %.2f us (target %v)\n", met.MeanVacation*1e6, *vbar)
+		fmt.Printf("team:           %.2f mean threads (%d..%d seen), %d resizes, %.1f thread-ms provisioned, final M=%d\n",
+			rep.MeanThreads, rep.MinThreads, rep.MaxThreads, rep.Resizes, rep.ThreadSeconds*1e3, rep.Final)
+		fmt.Printf("busy tries:     %.1f%% of %d lock attempts, %d cycles\n",
+			met.BusyTryFrac*100, met.Tries, met.Cycles)
 		return
 	}
 

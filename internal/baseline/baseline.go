@@ -1,20 +1,33 @@
 // Package baseline implements the two comparators of the paper's
 // evaluation: classic continuously-polling DPDK (Listing 1) and the
-// XDP/NAPI interrupt path of Sec. V-D. Both are closed-form steady-state
-// models: a busy-wait poller has no interesting event dynamics (its CPU is
-// 100% by construction), and XDP's behaviour is characterised by its
-// per-packet kernel-path cost and per-queue core binding.
+// XDP/NAPI interrupt path of Sec. V-D.
 //
-// The static poller also exists dynamically as the "busypoll" discipline of
-// internal/sched, so it can run inside the shared sim/live engine alongside
-// the other policies (the equivalence is covered by the sched tests);
-// Static below remains the cheap closed form for sweeps and sanity checks.
+// The static poller is no longer a closed form: Static runs the shared
+// sched engine's "busypoll" discipline over the discrete-event substrate —
+// one pinned polling thread per queue, exactly Listing 1 — so its CPU,
+// loss and latency come out of the same queue/NIC/Tx-batch model every
+// Metronome number does, instead of a parallel set of formulas that could
+// drift from it. Only the time-shared case (CPUShare < 1) keeps a thin
+// analytical layer on top: CFS deschedules a poller for whole
+// milliseconds-scale slices, far below the event resolution worth
+// simulating, and no Rx ring buffers such an outage — so delivered
+// throughput scales with the obtained share (Table II's observation).
+//
+// XDP stays closed-form: its behaviour is characterised by per-packet
+// kernel-path cost and per-queue core binding, not by event dynamics this
+// simulator models.
 package baseline
 
 import (
 	"math"
 
+	"metronome/internal/core"
+	"metronome/internal/cpu"
+	"metronome/internal/nic"
+	"metronome/internal/sched"
+	"metronome/internal/sim"
 	"metronome/internal/stats"
+	"metronome/internal/traffic"
 	"metronome/internal/xrand"
 )
 
@@ -30,13 +43,22 @@ type StaticConfig struct {
 	CPUShare float64
 	// BaseLatency is the wire+NIC+DMA floor.
 	BaseLatency float64
-	// Burst is the rx burst size (32 in the paper's appendix).
+	// Burst is the rx/tx burst size (32 in the paper's appendix); it sets
+	// the Tx flush batch of the simulated queues.
 	Burst float64
+	// Dur is the simulated steady-state window in seconds (default 50 ms,
+	// after a 20% warm-up that is discarded).
+	Dur float64
+	// Seed drives the simulation's randomness.
+	Seed uint64
 }
 
 // DefaultStatic mirrors the paper's l3fwd static deployment.
 func DefaultStatic() StaticConfig {
-	return StaticConfig{Mu: 29.76e6, Cores: 1, CPUShare: 1, BaseLatency: 6.8e-6, Burst: 32}
+	return StaticConfig{
+		Mu: 29.76e6, Cores: 1, CPUShare: 1, BaseLatency: 6.8e-6, Burst: 32,
+		Dur: 50e-3, Seed: 7,
+	}
 }
 
 // Result is the steady-state outcome for a baseline under offered load.
@@ -51,7 +73,9 @@ type Result struct {
 }
 
 // Static evaluates continuous polling under an offered load of lambda
-// packets/second split evenly over the configured cores.
+// packets/second split evenly over the configured cores, by simulating the
+// sched engine's busypoll discipline: Cores pinned threads, one queue
+// each, zero timeouts — Listing 1 on the discrete-event substrate.
 func Static(cfg StaticConfig, lambda float64) Result {
 	if cfg.Cores < 1 {
 		cfg.Cores = 1
@@ -59,35 +83,61 @@ func Static(cfg StaticConfig, lambda float64) Result {
 	if cfg.CPUShare <= 0 || cfg.CPUShare > 1 {
 		cfg.CPUShare = 1
 	}
-	// A time-shared poller is descheduled for whole CFS slices
-	// (milliseconds); no Rx ring buffers that outage, so its delivered
-	// throughput scales directly with the CPU share it obtains.
-	perCore := lambda / float64(cfg.Cores)
-	muEff := cfg.Mu
-	tput := math.Min(perCore, muEff) * cfg.CPUShare * float64(cfg.Cores)
-	loss := 0.0
-	if lambda > 0 {
+	if cfg.Mu <= 0 {
+		cfg.Mu = DefaultStatic().Mu
+	}
+	if cfg.Dur <= 0 {
+		cfg.Dur = 50e-3
+	}
+	eng := sim.New()
+	root := xrand.New(cfg.Seed ^ 0xd1b54a32d192ed03)
+	queues := make([]*nic.Queue, cfg.Cores)
+	for i := range queues {
+		opt := nic.DefaultOptions()
+		opt.BaseLatency = cfg.BaseLatency
+		if cfg.Burst >= 1 {
+			opt.TxBatch = int(cfg.Burst)
+		}
+		queues[i] = nic.NewQueue(i, traffic.CBR{PPS: lambda / float64(cfg.Cores)},
+			root.Split(), opt)
+	}
+	simCfg := core.DefaultConfig()
+	simCfg.M = cfg.Cores
+	simCfg.Mu = cfg.Mu
+	simCfg.Policy = sched.NameBusyPoll
+	simCfg.Seed = cfg.Seed
+	rt := core.New(eng, queues, simCfg)
+	rt.Start()
+	warm := cfg.Dur * 0.2
+	eng.RunUntil(warm)
+	for _, q := range queues {
+		q.Reset(eng.Now())
+	}
+	// Restart CPU accounting so the snapshot covers the post-warm-up
+	// window only (same idiom as the experiment harness).
+	rt.Acct = cpu.NewAccounting(rt.ThreadCount())
+	eng.RunUntil(warm + cfg.Dur)
+	m := rt.Snapshot(cfg.Dur)
+
+	// Time sharing (CPUShare < 1) is sub-event-scale: CFS deschedules the
+	// poller for whole milliseconds-scale slices no Rx ring can buffer, so
+	// delivered throughput scales with the obtained share on top of the
+	// full-share simulation.
+	tput := m.ThroughputPPS * cfg.CPUShare
+	loss := m.LossRate
+	if cfg.CPUShare < 1 && lambda > 0 {
 		loss = 1 - tput/lambda
 		if loss < 0 {
 			loss = 0
 		}
 	}
-	// Busy-wait latency: the poll loop revisits the queue every burst, so
-	// a packet waits about half a burst of service plus the utilisation
-	// inflation of an M/D/1-ish queue as rho -> 1.
-	rho := perCore / muEff
-	if rho > 0.999 {
-		rho = 0.999
-	}
-	mean := cfg.BaseLatency + cfg.Burst/(2*cfg.Mu) + rho/(1-rho)*0.5/cfg.Mu
-	std := 0.43e-6 // measured tightness of DPDK's polling (Sec. V-C)
 	return Result{
-		CPUPercent:    100 * float64(cfg.Cores), // polling burns its cores entirely
+		CPUPercent:    m.CPUPercent, // ~100% per polling core, now measured
 		ThroughputPPS: tput,
 		LossRate:      loss,
-		LatencyMean:   mean,
-		LatencyStd:    std,
-		Latency:       synthBox(mean, std, 0, cfg.BaseLatency),
+		LatencyMean:   m.Latency.Mean,
+		LatencyStd:    m.LatencyStd,
+		Latency:       m.Latency,
 		CoresUsed:     cfg.Cores,
 	}
 }

@@ -5,16 +5,19 @@ import (
 	"testing"
 )
 
+// Static is now a measured quantity (the busypoll discipline simulated on
+// the shared engine), so CPU is ~100% per core within the window-boundary
+// rounding of the accounting, not 100 by construction.
 func TestStaticAlwaysBurnsItsCores(t *testing.T) {
 	cfg := DefaultStatic()
 	for _, lambda := range []float64{0, 0.744e6, 14.88e6} {
 		r := Static(cfg, lambda)
-		if r.CPUPercent != 100 {
-			t.Errorf("lambda=%v: CPU=%v%%, polling must be 100%%", lambda, r.CPUPercent)
+		if r.CPUPercent < 99.9 || r.CPUPercent > 100.1 {
+			t.Errorf("lambda=%v: CPU=%v%%, polling must burn ~100%%", lambda, r.CPUPercent)
 		}
 	}
 	cfg.Cores = 4
-	if r := Static(cfg, 0); r.CPUPercent != 400 {
+	if r := Static(cfg, 0); r.CPUPercent < 399.6 || r.CPUPercent > 400.4 {
 		t.Errorf("4-core static CPU = %v%%", r.CPUPercent)
 	}
 }
@@ -24,7 +27,7 @@ func TestStaticLineRateNoLoss(t *testing.T) {
 	if r.LossRate != 0 {
 		t.Errorf("loss = %v", r.LossRate)
 	}
-	if math.Abs(r.ThroughputPPS-14.88e6) > 1 {
+	if math.Abs(r.ThroughputPPS-14.88e6)/14.88e6 > 1e-3 {
 		t.Errorf("tput = %v", r.ThroughputPPS)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/stats"
+	"metronome/internal/telemetry"
 	"metronome/internal/xrand"
 )
 
@@ -80,6 +81,15 @@ type Config struct {
 	// of re-targeting a random one — the strawman against Sec. IV-E's
 	// random selection, used by the ablation benchmarks.
 	BackupSticky bool
+	// Bus, when set, receives live telemetry from the run: per-queue
+	// occupancy/rho/drop/try gauges and per-thread duty, published at
+	// every wakeup and release. The elastic control plane samples it; the
+	// work-stealing discipline reads occupancy from it. Nil keeps the hot
+	// path free of even the publishing branches' stores.
+	Bus *telemetry.Bus
+	// Dephase enables turn-aware wake de-phasing in the shared-queue
+	// disciplines (see sched.Dephaser).
+	Dephase bool
 	// Seed drives all randomness in the run.
 	Seed uint64
 
@@ -130,6 +140,15 @@ type thread struct {
 	rng   *xrand.Rand
 	queue int // queue to contend at next wakeup
 
+	// retired marks a thread the elastic control plane has removed from
+	// the team: it finishes any in-flight cycle, then parks instead of
+	// re-arming its timer. parked reports it has actually stopped (no
+	// pending engine event), which is what makes un-retiring race-free in
+	// virtual time: an unparked thread gets a fresh wake event, a merely
+	// un-retired one keeps its still-pending timer.
+	retired bool
+	parked  bool
+
 	// In-flight cycle state for the pre-bound callbacks below, valid while
 	// the thread holds its queue's lock (each thread has at most one
 	// pending timer, so one set of fields suffices).
@@ -154,7 +173,19 @@ type Runtime struct {
 	Acct    *cpu.Accounting
 	policy  sched.Policy
 	group   sched.GroupPolicy // non-nil when the policy binds service groups
+	dephase sched.Dephaser    // non-nil when the policy staggers group wakes
+	bus     *telemetry.Bus    // nil unless Cfg.Bus
 	threads []*thread
+
+	// active is the current team size: threads[0:active] are serving,
+	// threads[active:] are retired or parked. started flips at Start so a
+	// pre-start resize only relabels the team (Start owns first arming).
+	// The provisioned integral ∫M(t)dt backs the thread-seconds metric of
+	// the elastic experiments.
+	active      int
+	started     bool
+	provisioned float64
+	provAt      float64
 
 	locked      []bool
 	lastRelease []float64
@@ -204,39 +235,67 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 		CyclesByThread: make([]int64, cfg.M),
 	}
 	r.group, _ = r.policy.(sched.GroupPolicy)
-	root := xrand.New(cfg.Seed)
-	cores := cfg.Cores
-	if len(cores) == 0 {
-		cores = make([]*cpu.Core, cfg.M)
-		for i := range cores {
-			cores[i] = cpu.NewCore(i)
+	r.dephase, _ = r.policy.(sched.Dephaser)
+	r.bus = cfg.Bus
+	r.active = cfg.M
+	if r.bus != nil {
+		for q, queue := range queues {
+			r.bus.SetCapacity(q, float64(queue.Opt.Cap))
 		}
 	}
+	root := xrand.New(cfg.Seed)
 	for i := 0; i < cfg.M; i++ {
-		th := &thread{
-			id:    i,
-			core:  cores[i%len(cores)],
-			rng:   root.Split(),
-			queue: i % len(queues),
-		}
-		wcfg := cfg.Wake
-		if over, ok := cfg.WakeOverrides[i]; ok {
-			wcfg = over
-		}
-		th.wake = cpu.NewWakeModel(hrtimer.NewModel(cfg.Sleep, th.rng.Split()), wcfg, th.rng.Split())
-		th.wakeFn = func() { r.wakeup(th) }
-		th.serveFn = func() {
-			r.Queues[th.queue].Retune(r.noisyMu(th))
-			r.serveSlices(th, th.sliceEnd)
-		}
-		th.releaseFn = func() {
-			r.Queues[th.queue].EndService(th.sliceEnd)
-			r.finishCycle(th)
-		}
-		r.threads = append(r.threads, th)
-		r.Acct.SetName(i, fmt.Sprintf("metronome-%d", i))
+		r.addThread(root.Split())
 	}
 	return r
+}
+
+// coreFor maps thread i onto the configured core set (or a dedicated idle
+// core when none was given).
+func (r *Runtime) coreFor(i int) *cpu.Core {
+	if len(r.Cfg.Cores) > 0 {
+		return r.Cfg.Cores[i%len(r.Cfg.Cores)]
+	}
+	return cpu.NewCore(i)
+}
+
+// addThread appends one thread with its pre-bound callbacks; id is the
+// next free slot. Initial threads draw their RNG stream from the root
+// split sequence (rng non-nil); threads the elastic control plane adds
+// later derive theirs from the deployment coordinates via SeedFrom, so a
+// late thread's stream does not depend on *when* it was added.
+func (r *Runtime) addThread(rng *xrand.Rand) *thread {
+	i := len(r.threads)
+	if rng == nil {
+		rng = xrand.New(xrand.SeedFrom(r.Cfg.Seed, 0x9e37, uint64(i), uint64(len(r.Queues))))
+	}
+	th := &thread{
+		id:    i,
+		core:  r.coreFor(i),
+		rng:   rng,
+		queue: i % len(r.Queues),
+	}
+	wcfg := r.Cfg.Wake
+	if over, ok := r.Cfg.WakeOverrides[i]; ok {
+		wcfg = over
+	}
+	th.wake = cpu.NewWakeModel(hrtimer.NewModel(r.Cfg.Sleep, th.rng.Split()), wcfg, th.rng.Split())
+	th.wakeFn = func() { r.wakeup(th) }
+	th.serveFn = func() {
+		r.Queues[th.queue].Retune(r.noisyMu(th))
+		r.serveSlices(th, th.sliceEnd)
+	}
+	th.releaseFn = func() {
+		r.Queues[th.queue].EndService(th.sliceEnd)
+		r.finishCycle(th)
+	}
+	r.threads = append(r.threads, th)
+	r.Acct.Grow(i + 1)
+	r.Acct.SetName(i, fmt.Sprintf("metronome-%d", i))
+	if len(r.CyclesByThread) < len(r.threads) {
+		r.CyclesByThread = append(r.CyclesByThread, 0)
+	}
+	return th
 }
 
 // PolicyName resolves the discipline cfg selects, mapping the legacy
@@ -262,21 +321,115 @@ func policyConfig(cfg Config, n int) sched.Config {
 		N:            n,
 		Alpha:        cfg.Alpha,
 		BackupSticky: cfg.BackupSticky,
+		Bus:          cfg.Bus,
+		Dephase:      cfg.Dephase,
 	}
 }
 
-// Start arms every thread's first wakeup, de-phased across one timeout so
-// the start is not artificially synchronised (real threads launch
-// sequentially; the decorrelation of Sec. IV-B takes over from there).
+// Start arms every active thread's first wakeup, de-phased across one
+// timeout so the start is not artificially synchronised (real threads
+// launch sequentially; the decorrelation of Sec. IV-B takes over from
+// there).
 func (r *Runtime) Start() {
-	for _, th := range r.threads {
-		first := th.rng.Uniform(0, r.policy.TS(th.queue)+1e-9)
-		r.Eng.After(first, "metronome-first-wake", th.wakeFn)
+	r.started = true
+	for i, th := range r.threads {
+		if i < r.active {
+			th.parked = false
+			r.armFirstWake(th)
+		} else {
+			th.parked = true // pre-start retirees hold no pending timer
+		}
 	}
 }
 
 // Policy exposes the scheduling discipline driving this runtime.
 func (r *Runtime) Policy() sched.Policy { return r.policy }
+
+// TeamSize returns the current number of active retrieval threads.
+func (r *Runtime) TeamSize() int { return r.active }
+
+// ThreadCount returns how many thread slots exist (active + parked); the
+// per-thread accounting and cycle counters are sized to it.
+func (r *Runtime) ThreadCount() int { return len(r.threads) }
+
+// SetTeamSize grows or shrinks the thread team to m mid-run — the sim
+// substrate of the elastic control plane. It returns the applied size: m
+// is clamped to at least one thread per queue (Sec. IV-E: every queue
+// deserves a primary available).
+//
+// Growth first un-parks retired threads (each re-enters through a fresh
+// de-phased wake event) and then creates new ones; their RNG streams
+// derive from the deployment coordinates, not from creation order, so a
+// thread added at t=0.3s is the same thread it would have been at t=0.7s.
+// Retirement marks the highest-id threads: each finishes any in-flight
+// cycle, lets its pending timer fire once, and parks. Everything flows
+// through ordinary engine events, so a resizing run stays deterministic at
+// any experiment-harness parallelism. The policy is notified through
+// sched.Resizable so eq. (14) / r = M/N group layouts recompute online.
+func (r *Runtime) SetTeamSize(m int) int {
+	if m < len(r.Queues) {
+		m = len(r.Queues)
+	}
+	if m == r.active {
+		return r.active
+	}
+	now := r.Eng.Now()
+	r.provisioned += float64(r.active) * (now - r.provAt)
+	r.provAt = now
+	for len(r.threads) < m {
+		// Freshly created threads start parked: the activation loop below
+		// un-parks them exactly like threads retired in an earlier epoch.
+		th := r.addThread(nil)
+		th.retired, th.parked = true, true
+	}
+	if rz, ok := r.policy.(sched.Resizable); ok {
+		rz.SetTeamSize(m)
+	}
+	for i, th := range r.threads {
+		wasParked := th.parked
+		th.retired = i >= m
+		if !th.retired && wasParked && r.started {
+			r.unpark(th)
+		}
+		// A re-activated thread that never parked keeps its pending timer;
+		// a freshly retired one parks when that timer next fires. Before
+		// Start, nothing is armed here: Start arms whoever is active then.
+	}
+	r.active = m
+	return r.active
+}
+
+// unpark re-enters a parked thread: home it (group layouts may have moved
+// under the resize) and arm a de-phased first wake, like Start does.
+func (r *Runtime) unpark(th *thread) {
+	th.parked = false
+	th.queue = th.id % len(r.Queues)
+	if r.group != nil {
+		th.queue = r.group.HomeQueue(th.id)
+	}
+	r.armFirstWake(th)
+}
+
+// armFirstWake schedules a thread's first wakeup, de-phased across one
+// timeout so team changes do not synchronise the group.
+func (r *Runtime) armFirstWake(th *thread) {
+	first := th.rng.Uniform(0, r.policy.TS(th.queue)+1e-9)
+	r.Eng.After(first, "metronome-first-wake", th.wakeFn)
+}
+
+// ProvisionedThreadSeconds integrates the team size over virtual time up
+// to now: the cores a deployment had to reserve, whether or not they were
+// on-CPU — the provisioning cost the elastic control plane trades against
+// loss. Use ResetProvisioned to window-align it after warm-up.
+func (r *Runtime) ProvisionedThreadSeconds(now float64) float64 {
+	return r.provisioned + float64(r.active)*(now-r.provAt)
+}
+
+// ResetProvisioned restarts the provisioned-thread-seconds integral at now.
+func (r *Runtime) ResetProvisioned(now float64) {
+	r.provisioned = 0
+	r.provAt = now
+}
 
 // Group exposes the shared-queue extension of the policy, or nil when the
 // discipline does not bind service groups.
@@ -298,6 +451,14 @@ func (r *Runtime) BusyTryFraction() float64 {
 
 // wakeup is the body of Listing 2: trylock, drain-or-flee, re-arm.
 func (r *Runtime) wakeup(th *thread) {
+	if th.retired {
+		// The elastic control plane removed this thread from the team: its
+		// pending timer fires one last time and the thread parks instead
+		// of contending (a retired thread never holds a lock here — a
+		// serving thread re-arms through finishCycle, which parks first).
+		th.parked = true
+		return
+	}
 	now := r.Eng.Now()
 	r.Acct.AddBusy(th.id, r.Cfg.WakeCost)
 	r.Tries.Inc()
@@ -308,11 +469,24 @@ func (r *Runtime) wakeup(th *thread) {
 		// random queue for the next attempt (Sec. IV-E) and sleep TL.
 		r.BusyTries.Inc()
 		r.BusyTriesQ[q]++
+		if r.bus != nil {
+			// The queue is mid-service, so Occupancy reads the fluid
+			// model's last slice boundary without advancing arrivals.
+			r.bus.SetOccupancy(q, r.Queues[q].Occupancy(now))
+			r.bus.SetTries(q, uint64(r.TriesQ[q]))
+			r.bus.SetBusyTries(q, uint64(r.BusyTriesQ[q]))
+		}
 		if r.Cfg.Tracer != nil {
 			r.Cfg.Tracer.Wake(now, th.id, q, false)
 		}
 		th.queue = r.policy.PickBackupQueue(q, th.rng)
-		r.sleepTraced(th, r.policy.TL(q), true)
+		tl := r.policy.TL(q)
+		if r.dephase != nil {
+			// A colliding group member re-spreads onto the rotation clock
+			// (no-op for foreign re-targets).
+			tl = r.dephase.Dephase(th.id, th.queue, tl, true)
+		}
+		r.sleepTraced(th, tl, true)
 		return
 	}
 	// Lock won: serve the queue. Shared-queue disciplines additionally
@@ -331,6 +505,13 @@ func (r *Runtime) wakeup(th *thread) {
 	th.vacation = now - r.lastRelease[q]
 	th.serviceStart = now
 	nv := queue.BeginService(now, r.noisyMu(th))
+	if r.bus != nil {
+		// N_V is the wake-time occupancy: the signal the elastic
+		// controller holds at target and the work-stealing backup ranking
+		// reacts to within one vacation.
+		r.bus.SetOccupancy(q, nv)
+		r.bus.SetTries(q, uint64(r.TriesQ[q]))
+	}
 	if nv == 0 {
 		// Empty poll: pay one rx_burst, release, stay primary.
 		r.Acct.AddBusy(th.id, r.Cfg.PollCost)
@@ -391,6 +572,20 @@ func (r *Runtime) finishCycle(th *thread) {
 	if r.Cfg.Tracer != nil {
 		r.Cfg.Tracer.Release(now, th.id, q, busy)
 	}
+	if r.bus != nil {
+		queue := r.Queues[q]
+		r.bus.SetOccupancy(q, 0) // drained by construction of EndService
+		r.bus.SetRho(q, r.policy.Rho(q))
+		r.bus.SetDrops(q, uint64(queue.Drops))
+		r.bus.SetRx(q, uint64(queue.RxPackets))
+		r.bus.SetThreadBusy(th.id, r.Acct.Busy(th.id))
+	}
+	if th.retired {
+		// Retired mid-service: the cycle completed cleanly, now park
+		// instead of re-arming (see SetTeamSize).
+		th.parked = true
+		return
+	}
 	// Shared-queue disciplines keep service groups stable: a member that
 	// served a foreign queue as backup returns home and re-arms its home
 	// queue's member timeout, so each group actually holds the size its
@@ -400,6 +595,9 @@ func (r *Runtime) finishCycle(th *thread) {
 			th.queue = home
 			ts = r.policy.TS(home)
 		}
+	}
+	if r.dephase != nil {
+		ts = r.dephase.Dephase(th.id, th.queue, ts, false)
 	}
 	r.sleepTraced(th, ts, false)
 }

@@ -152,6 +152,19 @@ func NewAccounting(n int) *Accounting {
 // SetName labels thread i for reports.
 func (a *Accounting) SetName(i int, name string) { a.names[i] = name }
 
+// Len returns the number of tracked threads.
+func (a *Accounting) Len() int { return len(a.busy) }
+
+// Grow extends the table to n threads (no-op if already that large) — the
+// elastic control plane adds threads mid-run and their CPU time must land
+// in the same getrusage-style account.
+func (a *Accounting) Grow(n int) {
+	for len(a.busy) < n {
+		a.busy = append(a.busy, 0)
+		a.names = append(a.names, "")
+	}
+}
+
 // AddBusy charges d seconds of CPU to thread i.
 func (a *Accounting) AddBusy(i int, d float64) {
 	if d < 0 {

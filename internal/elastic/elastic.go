@@ -1,0 +1,339 @@
+// Package elastic is the feedback control plane above Metronome's
+// per-thread adaptivity: where the sleep&wake policy engine tunes each
+// thread's timeout TS to the load, this controller tunes the *team size M*
+// to the workload's shape. It samples the lock-free telemetry bus
+// (internal/telemetry) every control period and grows or shrinks the
+// thread team through the Team interface, which both execution substrates
+// implement — the discrete-event twin re-sizes through engine events, the
+// live runtime spawns and parks goroutines.
+//
+// The law is a PI controller on wake-time ring occupancy with a loss
+// override: occupancy relative to ring capacity is the fast signal (it
+// spikes within one vacation when a flash crowd lands, long before the rho
+// EWMA converges), sustained loss feeds the integral term, and a deadband
+// plus cooldown keep the team from flapping on noise. A hard Budget caps
+// the team so provisioned CPU can never exceed the configured core budget.
+//
+// The controller is substrate-agnostic and clockless: callers invoke
+// Tick(now) on their own cadence — an engine Ticker in the sim (which
+// keeps elastic runs deterministic at any experiment-harness parallelism),
+// a wall-clock ticker via Run in a live deployment.
+package elastic
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"metronome/internal/telemetry"
+)
+
+// Team is a resizable retrieval-thread team; core.Runtime and
+// runtime.Runner both implement it.
+type Team interface {
+	// TeamSize returns the current team size.
+	TeamSize() int
+	// SetTeamSize requests a new team size and returns the applied one
+	// (substrates clamp to at least one thread per queue).
+	SetTeamSize(m int) int
+}
+
+// Config tunes the control plane. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// Period is the control period in seconds (default 1 ms): how often
+	// the bus is sampled and a resize considered.
+	Period float64
+	// MinThreads is the floor the team may shrink to (default: the
+	// substrate's queue count, via the Team clamp).
+	MinThreads int
+	// Budget is the hard ceiling on the team — the core budget this
+	// deployment may provision. CPU can never exceed Budget cores.
+	Budget int
+	// TargetOccupancy is the wake-time ring occupancy the PI holds, as a
+	// fraction of ring capacity (default 0.10). Occupancy above it is
+	// grow pressure; occupancy below it unwinds the integral and shrinks.
+	TargetOccupancy float64
+	// LossGain is the error added while the last window dropped packets
+	// (default 3): loss is the unambiguous under-provisioning signal, so
+	// it dominates the occupancy term until it stops.
+	LossGain float64
+	// Kp and Ki are the proportional and integral gains in threads per
+	// unit error (defaults 1 and 0.5). Errors are normalised:
+	// (occ - target)/target, so error 1 means double the target.
+	Kp, Ki float64
+	// Hysteresis widens the resize deadband in threads (default 0.25): a
+	// resize applies only when the PI output departs the current size by
+	// more than 0.5+Hysteresis, so the rounding boundary cannot chatter.
+	Hysteresis float64
+	// Cooldown is the minimum time between applied *shrinks* in seconds
+	// (default 16 periods). Growth is never throttled: under-provisioning
+	// loses packets, over-provisioning only burns budget.
+	Cooldown float64
+}
+
+// DefaultConfig returns the tuning the fig-elastic experiment ships:
+// budget cores, a 1 ms control period and the PI gains calibrated there.
+func DefaultConfig(minThreads, budget int) Config {
+	return Config{
+		Period:          1e-3,
+		MinThreads:      minThreads,
+		Budget:          budget,
+		TargetOccupancy: 0.10,
+		LossGain:        3,
+		Kp:              1,
+		Ki:              0.5,
+		Hysteresis:      0.25,
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.Period <= 0 {
+		c.Period = 1e-3
+	}
+	if c.MinThreads < 1 {
+		c.MinThreads = 1
+	}
+	if c.Budget < c.MinThreads {
+		c.Budget = c.MinThreads
+	}
+	if c.TargetOccupancy <= 0 {
+		c.TargetOccupancy = 0.10
+	}
+	if c.LossGain < 0 {
+		c.LossGain = 0
+	}
+	if c.Kp <= 0 {
+		c.Kp = 1
+	}
+	if c.Ki <= 0 {
+		c.Ki = 0.5
+	}
+	if c.Hysteresis < 0 {
+		c.Hysteresis = 0
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 16 * c.Period
+	}
+	return c
+}
+
+// Decision records one control tick for observability.
+type Decision struct {
+	At        float64 // tick time
+	Occupancy float64 // worst-queue occupancy fraction sampled
+	LossDelta uint64  // packets dropped since the previous tick
+	Err       float64 // combined PI error
+	Raw       float64 // un-rounded PI output in threads
+	Want      int     // rounded, clamped target
+	Applied   int     // team size after the tick
+	Resized   bool    // whether a resize was applied
+}
+
+// Controller drives one Team from one Bus.
+type Controller struct {
+	cfg  Config
+	bus  *telemetry.Bus
+	team Team
+
+	integ      float64 // integral state, in threads above MinThreads
+	lastTick   float64
+	lastShrink float64
+	started    bool
+
+	snap      telemetry.Snapshot
+	prevDrops []uint64
+	prevRx    []uint64
+
+	// Window stats backing Report.
+	statsFrom     float64
+	threadSeconds float64
+	resizes       int
+	minSeen       int
+	maxSeen       int
+	last          Decision
+}
+
+// New builds a controller over bus and team. The team is immediately
+// clamped into [MinThreads, Budget] so a mis-sized initial deployment
+// starts inside the envelope.
+func New(bus *telemetry.Bus, team Team, cfg Config) *Controller {
+	c := &Controller{
+		cfg:  cfg.normalized(),
+		bus:  bus,
+		team: team,
+	}
+	m := team.TeamSize()
+	if m < c.cfg.MinThreads {
+		m = team.SetTeamSize(c.cfg.MinThreads)
+	}
+	if m > c.cfg.Budget {
+		m = team.SetTeamSize(c.cfg.Budget)
+	}
+	c.integ = float64(m - c.cfg.MinThreads)
+	c.minSeen, c.maxSeen = m, m
+	c.prevDrops = make([]uint64, bus.Queues())
+	c.prevRx = make([]uint64, bus.Queues())
+	return c
+}
+
+// Config returns the normalised configuration in effect.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Tick runs one control period ending at now: sample the bus, update the
+// PI state, and resize the team when the output leaves the deadband.
+func (c *Controller) Tick(now float64) Decision {
+	cur := c.team.TeamSize()
+	if !c.started {
+		c.started = true
+		c.lastTick, c.statsFrom = now, now
+		// Counter baselines: the first tick only calibrates deltas.
+		c.bus.Sample(&c.snap)
+		copy(c.prevDrops, c.snap.Drops)
+		copy(c.prevRx, c.snap.Rx)
+		c.last = Decision{At: now, Want: cur, Applied: cur}
+		return c.last
+	}
+	c.threadSeconds += float64(cur) * (now - c.lastTick)
+	c.lastTick = now
+
+	c.bus.Sample(&c.snap)
+	occ := 0.0
+	for q := 0; q < c.bus.Queues(); q++ {
+		if cp := c.snap.Cap[q]; cp > 0 {
+			if f := c.snap.Occ[q] / cp; f > occ {
+				occ = f
+			}
+		}
+	}
+	var lossDelta uint64
+	for q := 0; q < c.bus.Queues(); q++ {
+		if d := c.snap.Drops[q]; d >= c.prevDrops[q] {
+			lossDelta += d - c.prevDrops[q]
+		}
+		// A counter that moved backwards was reset (warm-up window
+		// alignment); resync silently.
+		c.prevDrops[q] = c.snap.Drops[q]
+		c.prevRx[q] = c.snap.Rx[q]
+	}
+
+	e := (occ - c.cfg.TargetOccupancy) / c.cfg.TargetOccupancy
+	if lossDelta > 0 {
+		e += c.cfg.LossGain
+	}
+	c.integ += c.cfg.Ki * e
+	c.integ = clamp(c.integ, 0, float64(c.cfg.Budget-c.cfg.MinThreads))
+	raw := float64(c.cfg.MinThreads) + c.cfg.Kp*e + c.integ
+	want := int(math.Round(clamp(raw, float64(c.cfg.MinThreads), float64(c.cfg.Budget))))
+
+	d := Decision{
+		At: now, Occupancy: occ, LossDelta: lossDelta,
+		Err: e, Raw: raw, Want: want, Applied: cur,
+	}
+	switch {
+	case want > cur && raw > float64(cur)+0.5+c.cfg.Hysteresis:
+		d.Applied = c.team.SetTeamSize(want)
+		d.Resized = d.Applied != cur
+	case want < cur && raw < float64(cur)-0.5-c.cfg.Hysteresis &&
+		now-c.lastShrink >= c.cfg.Cooldown:
+		d.Applied = c.team.SetTeamSize(want)
+		d.Resized = d.Applied != cur
+		if d.Resized {
+			c.lastShrink = now
+		}
+	}
+	if d.Resized {
+		c.resizes++
+		// Keep the integral consistent with what was actually applied so
+		// the deadband is measured from the live size, not a phantom one.
+		c.integ = clamp(float64(d.Applied-c.cfg.MinThreads), 0,
+			float64(c.cfg.Budget-c.cfg.MinThreads))
+	}
+	if d.Applied < c.minSeen {
+		c.minSeen = d.Applied
+	}
+	if d.Applied > c.maxSeen {
+		c.maxSeen = d.Applied
+	}
+	c.last = d
+	return d
+}
+
+// Report summarises the controller's window since construction or the last
+// ResetStats.
+type Report struct {
+	// ThreadSeconds is ∫M(t)dt over the window: the provisioning cost the
+	// controller is minimising against loss.
+	ThreadSeconds float64
+	// MeanThreads is ThreadSeconds normalised by the window length.
+	MeanThreads float64
+	// Resizes counts applied team changes.
+	Resizes int
+	// MinThreads and MaxThreads are the extreme applied sizes seen.
+	MinThreads, MaxThreads int
+	// Final is the team size at report time.
+	Final int
+}
+
+// Report closes the accounting window at now and summarises it.
+func (c *Controller) Report(now float64) Report {
+	cur := c.team.TeamSize()
+	ts := c.threadSeconds
+	wall := now - c.statsFrom
+	if c.started && now > c.lastTick {
+		ts += float64(cur) * (now - c.lastTick)
+	}
+	mean := 0.0
+	if wall > 0 {
+		mean = ts / wall
+	}
+	return Report{
+		ThreadSeconds: ts,
+		MeanThreads:   mean,
+		Resizes:       c.resizes,
+		MinThreads:    c.minSeen,
+		MaxThreads:    c.maxSeen,
+		Final:         cur,
+	}
+}
+
+// ResetStats restarts the report window at now (warm-up alignment). The PI
+// state is preserved: only the accounting resets.
+func (c *Controller) ResetStats(now float64) {
+	cur := c.team.TeamSize()
+	c.statsFrom, c.lastTick = now, now
+	c.threadSeconds = 0
+	c.resizes = 0
+	c.minSeen, c.maxSeen = cur, cur
+}
+
+// Run drives the controller on wall-clock ticks until ctx is cancelled —
+// the live-runtime entry point. Tick times are seconds since Run started,
+// matching the controller's clockless contract.
+func (c *Controller) Run(ctx context.Context) {
+	period := time.Duration(c.cfg.Period * float64(time.Second))
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	start := time.Now()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			c.Tick(time.Since(start).Seconds())
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

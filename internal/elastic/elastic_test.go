@@ -1,0 +1,168 @@
+package elastic
+
+import (
+	"testing"
+
+	"metronome/internal/telemetry"
+)
+
+// fakeTeam records resizes and clamps to a queue floor like the substrates.
+type fakeTeam struct {
+	size    int
+	floor   int
+	resizes []int
+}
+
+func (f *fakeTeam) TeamSize() int { return f.size }
+func (f *fakeTeam) SetTeamSize(m int) int {
+	if m < f.floor {
+		m = f.floor
+	}
+	f.size = m
+	f.resizes = append(f.resizes, m)
+	return m
+}
+
+func newRig(minThreads, budget int) (*telemetry.Bus, *fakeTeam, *Controller) {
+	bus := telemetry.NewBus(2, budget)
+	bus.SetCapacity(0, 4096)
+	bus.SetCapacity(1, 4096)
+	team := &fakeTeam{size: minThreads, floor: 2}
+	cfg := DefaultConfig(minThreads, budget)
+	return bus, team, New(bus, team, cfg)
+}
+
+func TestGrowsOnOccupancySpike(t *testing.T) {
+	bus, team, c := newRig(2, 8)
+	c.Tick(0) // calibration tick
+	// Flash crowd: the worst queue's wake occupancy spikes to 40% of the
+	// ring against a 10% target.
+	bus.SetOccupancy(1, 0.4*4096)
+	d := c.Tick(0.001)
+	if d.Applied <= 2 {
+		t.Fatalf("no growth on 4x occupancy target: %+v", d)
+	}
+	if team.size != d.Applied {
+		t.Fatalf("team %d != applied %d", team.size, d.Applied)
+	}
+}
+
+func TestLossDrivesIntegralGrowth(t *testing.T) {
+	bus, _, c := newRig(2, 8)
+	c.Tick(0)
+	// Occupancy at target (no proportional pressure) but persistent loss.
+	bus.SetOccupancy(0, 0.10*4096)
+	drops := uint64(0)
+	now := 0.0
+	grewTo := 0
+	for i := 0; i < 20; i++ {
+		drops += 500
+		bus.SetDrops(0, drops)
+		now += 0.001
+		d := c.Tick(now)
+		grewTo = d.Applied
+	}
+	if grewTo < 6 {
+		t.Fatalf("sustained loss only grew the team to %d of budget 8", grewTo)
+	}
+}
+
+func TestShrinksAfterTroughWithCooldown(t *testing.T) {
+	bus, team, c := newRig(2, 8)
+	c.Tick(0)
+	bus.SetOccupancy(0, 0.5*4096)
+	now := 0.001
+	c.Tick(now)
+	peak := team.size
+	if peak <= 2 {
+		t.Fatalf("setup failed to grow (size %d)", peak)
+	}
+	// Trough: occupancy collapses. The integral must unwind and the team
+	// shrink back — but never faster than one shrink per cooldown.
+	bus.SetOccupancy(0, 0)
+	cd := c.Config().Cooldown
+	lastShrinkAt := -cd
+	size := peak
+	for i := 0; i < 2000 && size > 2; i++ {
+		now += 0.001
+		d := c.Tick(now)
+		if d.Applied < size {
+			if dt := d.At - lastShrinkAt; dt < cd {
+				t.Fatalf("shrink after %.4fs, cooldown %.4fs", dt, cd)
+			}
+			lastShrinkAt = d.At
+		}
+		size = d.Applied
+	}
+	if size != 2 {
+		t.Fatalf("team never shrank back to the floor: %d", size)
+	}
+}
+
+func TestBudgetIsAHardCap(t *testing.T) {
+	bus, team, c := newRig(2, 4)
+	c.Tick(0)
+	bus.SetOccupancy(0, 4096) // ring full
+	bus.SetDrops(0, 1e6)
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		now += 0.001
+		if d := c.Tick(now); d.Applied > 4 {
+			t.Fatalf("budget 4 exceeded: %+v", d)
+		}
+	}
+	if team.size > 4 {
+		t.Fatalf("team %d over budget", team.size)
+	}
+}
+
+func TestHysteresisHoldsInDeadband(t *testing.T) {
+	bus, team, c := newRig(3, 8)
+	c.Tick(0)
+	// Occupancy exactly at target: zero error, the team must not move.
+	bus.SetOccupancy(0, 0.10*4096)
+	bus.SetOccupancy(1, 0.10*4096)
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += 0.001
+		c.Tick(now)
+	}
+	if got := len(team.resizes); got != 0 {
+		t.Fatalf("%d resizes on zero error (deadband broken): %v", got, team.resizes)
+	}
+}
+
+func TestCounterResetResyncsSilently(t *testing.T) {
+	bus, _, c := newRig(2, 8)
+	c.Tick(0)
+	bus.SetDrops(0, 1000)
+	c.Tick(0.001)
+	// Warm-up alignment resets the substrate counters; the next delta must
+	// not underflow into a huge unsigned loss.
+	bus.SetDrops(0, 0)
+	d := c.Tick(0.002)
+	if d.LossDelta != 0 {
+		t.Fatalf("loss delta after counter reset = %d, want 0", d.LossDelta)
+	}
+}
+
+func TestReportAccountsThreadSeconds(t *testing.T) {
+	bus, team, c := newRig(2, 8)
+	c.Tick(0)
+	bus.SetOccupancy(0, 0)
+	for i := 1; i <= 10; i++ {
+		c.Tick(float64(i) * 0.001)
+	}
+	rep := c.Report(0.010)
+	want := float64(team.size) * 0.010
+	if diff := rep.ThreadSeconds - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("thread-seconds %.6f, want %.6f", rep.ThreadSeconds, want)
+	}
+	if rep.MeanThreads < 1.9 || rep.MeanThreads > 2.1 {
+		t.Fatalf("mean threads %.2f, want ~2", rep.MeanThreads)
+	}
+	c.ResetStats(0.010)
+	if rep := c.Report(0.010); rep.ThreadSeconds != 0 {
+		t.Fatalf("reset window still holds %.6f thread-seconds", rep.ThreadSeconds)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metronome/internal/core"
+	"metronome/internal/elastic"
+	"metronome/internal/nic"
+	"metronome/internal/sched"
+	"metronome/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig-elastic",
+		Title: "Elastic control plane: occupancy-driven team autoscaling vs static M",
+		Paper: "Beyond the paper: the sleep&wake discipline adapts each thread's timeout to load, but the paper's team size M is frozen at startup. This experiment drives a flash-crowd ramp, a diurnal sine and an unbalanced hot-queue shift (on a noisy shared host, Sec. V-E's elevated wake-delay tails) against static-M teams and the internal/elastic PI controller, comparing loss, CPU, vacation-target tracking and provisioned thread-seconds",
+		Run:   runElastic,
+	})
+}
+
+// elasticMode is one comparison arm: a static team of m threads, or an
+// elastic team governed by ecfg.
+type elasticMode struct {
+	name   string
+	m      int
+	policy string
+	ecfg   *elastic.Config
+}
+
+// elasticTuning is the controller tuning the experiment ships: wake-time
+// occupancy above ~3% of the 4096-descriptor ring (a flash crowd's backlog
+// at these rates) is grow pressure, loss overrides, shrinks wait out a
+// 16 ms cooldown.
+func elasticTuning(minThreads, budget int) *elastic.Config {
+	ec := elastic.DefaultConfig(minThreads, budget)
+	ec.TargetOccupancy = 0.03
+	return &ec
+}
+
+// noisyHost raises the wake-delay tail probability to the shared-machine
+// regime: ~1 in 1000 wakes eats a lognormal hundreds-of-microseconds
+// delay. A lone attendant's queue buffers that outage or overflows; a
+// bigger team masks it, which is exactly the capacity the controller is
+// buying when it grows.
+func noisyHost(cfg *core.Config) {
+	cfg.Wake.TailProb = 1e-3
+}
+
+// elasticSpec assembles one arm over the given per-queue processes.
+func elasticSpec(policy string, m int, procs []traffic.Process, d, warmup float64, seed uint64, ecfg *elastic.Config) runSpec {
+	cfg := core.DefaultConfig()
+	cfg.M = m
+	cfg.VBar = 15e-6
+	cfg.Policy = policy
+	noisyHost(&cfg)
+	return runSpec{
+		cfg:     cfg,
+		optFn:   func(opt *nic.Options) { opt.Cap = 4096 },
+		procs:   procs,
+		dur:     d,
+		warmup:  warmup,
+		seed:    seed,
+		elastic: ecfg,
+		// Telemetry rides along even for static arms so bus-driven
+		// policies (worksteal) see live occupancy in every mode.
+		telemetry: true,
+	}
+}
+
+// elasticRow renders one arm: loss/CPU/vacation on the left, the
+// provisioning account on the right.
+func elasticRow(mode elasticMode, procs []traffic.Process, d, warmup float64, seed uint64) []string {
+	_, met, rep := runMetronomeElastic(elasticSpec(mode.policy, mode.m, procs, d, warmup, seed, mode.ecfg))
+	return []string{
+		mode.name,
+		permille(met.LossRate),
+		pct(met.CPUPercent),
+		pct(met.BusyTryFrac * 100),
+		us(met.MeanVacation),
+		f1(rep.ThreadSeconds * 1e3), // thread-milliseconds: readable at these windows
+		f2(rep.MeanThreads),
+		fmt.Sprintf("%d..%d", rep.MinThreads, rep.MaxThreads),
+		fmt.Sprintf("%d", rep.Resizes),
+	}
+}
+
+var elasticColumns = []string{
+	"mode", "loss_permille", "cpu_pct", "busy_tries_pct", "V_us",
+	"thread_ms", "mean_M", "M_range", "resizes",
+}
+
+func runElastic(o Options) []*Table {
+	d := dur(o, 0.8)
+	warmup := 0.25 * d
+
+	// Panel 1 — flash crowd: 2 queues idle at 4 Mpps total, a 28 Mpps
+	// crowd lands at 0.5d and leaves at 0.9d (40% of the measured window).
+	crowd := func(q int) traffic.Process {
+		lo, hi := 2e6, 14e6
+		return traffic.Step{At: 0.5 * d, Before: traffic.CBR{PPS: lo},
+			After: traffic.Step{At: 0.9 * d, Before: traffic.CBR{PPS: hi},
+				After: traffic.CBR{PPS: lo}}}
+	}
+	crowdProcs := []traffic.Process{crowd(0), crowd(1)}
+	crowdModes := []elasticMode{
+		{name: "static-2", m: 2, policy: sched.NameAdaptive},
+		{name: "static-8", m: 8, policy: sched.NameAdaptive},
+		{name: "elastic-2..8", m: 2, policy: sched.NameAdaptive, ecfg: elasticTuning(2, 8)},
+	}
+	crowdRows := parMap(o, len(crowdModes), func(i int) []string {
+		return elasticRow(crowdModes[i], crowdProcs, d, warmup, o.Seed+uint64(1500+i))
+	})
+	flash := &Table{
+		ID:      "fig-elastic-flash",
+		Title:   "flash crowd (4 -> 28 -> 4 Mpps over 2 queues), noisy host, V̄=15us",
+		Columns: elasticColumns,
+		Rows:    crowdRows,
+		Notes: []string{
+			"static-2 overflows the 4096-descriptor rings on wake-delay tails at the peak; static-8 survives it but provisions 8 threads for the whole window",
+			"elastic grows on the occupancy/loss PI only while the crowd is in, so it matches static-8's loss at a fraction of the thread-seconds",
+		},
+	}
+
+	// Panel 2 — diurnal sine: the day/night curve compressed into the
+	// run, 1 to 15 Mpps per queue, under the shared-queue discipline.
+	day := 0.625 * d
+	sineProcs := []traffic.Process{
+		traffic.Sine{Base: 8e6, Amp: 7e6, Period: day},
+		traffic.Sine{Base: 8e6, Amp: 7e6, Period: day},
+	}
+	sineModes := []elasticMode{
+		{name: "static-2", m: 2, policy: sched.NameRMetronome},
+		{name: "static-8", m: 8, policy: sched.NameRMetronome},
+		{name: "elastic-2..8", m: 2, policy: sched.NameRMetronome, ecfg: elasticTuning(2, 8)},
+	}
+	sineRows := parMap(o, len(sineModes), func(i int) []string {
+		return elasticRow(sineModes[i], sineProcs, d, warmup, o.Seed+uint64(1520+i))
+	})
+	diurnal := &Table{
+		ID:      "fig-elastic-diurnal",
+		Title:   "diurnal sine (1..15 Mpps per queue), rmetronome groups, V̄=15us",
+		Columns: elasticColumns,
+		Rows:    sineRows,
+		Notes: []string{
+			"the controller's mean_M rides the sine: r = M/N group sizes recompute online through sched.Resizable",
+		},
+	}
+
+	// Panel 3 — unbalanced shift: 24 Mpps over 3 queues whose hot queue
+	// (60% of the traffic) migrates from queue 0 to queue 2 mid-window;
+	// work-stealing backups chase it via bus occupancy.
+	shiftAt := 0.7 * d
+	share := func(before, after float64) traffic.Process {
+		return traffic.Step{At: shiftAt,
+			Before: traffic.CBR{PPS: 24e6 * before},
+			After:  traffic.CBR{PPS: 24e6 * after}}
+	}
+	shiftProcs := []traffic.Process{
+		share(0.6, 0.2), share(0.2, 0.2), share(0.2, 0.6),
+	}
+	shiftModes := []elasticMode{
+		{name: "rmetronome-static-6", m: 6, policy: sched.NameRMetronome},
+		{name: "worksteal-static-6", m: 6, policy: sched.NameWorkSteal},
+		{name: "worksteal-elastic-3..6", m: 3, policy: sched.NameWorkSteal, ecfg: elasticTuning(3, 6)},
+	}
+	shiftRows := parMap(o, len(shiftModes), func(i int) []string {
+		return elasticRow(shiftModes[i], shiftProcs, d, warmup, o.Seed+uint64(1540+i))
+	})
+	shift := &Table{
+		ID:      "fig-elastic-shift",
+		Title:   "unbalanced shift (60% hot flow migrates queue 0 -> 2 mid-run), 3 queues",
+		Columns: elasticColumns,
+		Rows:    shiftRows,
+		Notes: []string{
+			"worksteal re-targets lost-race threads at the occupancy-hottest queue straight off the telemetry bus, so backup capacity follows the migration within a vacation",
+			"the hot flow never leaves, so the controller converges to the static provisioning instead of undercutting it — elastic only wins thread-seconds while demand actually varies",
+		},
+	}
+
+	return []*Table{flash, diurnal, shift}
+}

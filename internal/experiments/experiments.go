@@ -17,9 +17,11 @@ import (
 
 	"metronome/internal/core"
 	"metronome/internal/cpu"
+	"metronome/internal/elastic"
 	"metronome/internal/nic"
 	"metronome/internal/power"
 	"metronome/internal/sim"
+	"metronome/internal/telemetry"
 	"metronome/internal/traffic"
 	"metronome/internal/xrand"
 )
@@ -35,6 +37,11 @@ type Options struct {
 	// for every deployment that does not pin its own — the metrobench
 	// -policy flag, letting any experiment re-run under fixed or busypoll.
 	Policy string
+	// Elastic attaches the occupancy-driven control plane (with a default
+	// tuning and a 2M core budget) to every deployment flowing through
+	// the common single-queue runner — the metrobench -elastic flag. The
+	// fig-elastic experiment pins its own controllers regardless.
+	Elastic bool
 	// Parallel bounds how many independent simulations a sweep experiment
 	// runs concurrently; 0 means GOMAXPROCS. Each row/series point is a
 	// self-contained deterministic simulation (own engine, RNG streams and
@@ -214,6 +221,12 @@ type runSpec struct {
 	dur    float64
 	warmup float64
 	seed   uint64
+	// telemetry attaches a telemetry bus even without a controller, so
+	// bus-driven policies (worksteal occupancy ranking) get live signals.
+	telemetry bool
+	// elastic attaches the occupancy-driven control plane: a bus, a
+	// controller and an engine ticker at the configured control period.
+	elastic *elastic.Config
 }
 
 // overridePolicy yields the Options-level discipline override for a
@@ -229,8 +242,27 @@ func overridePolicy(o Options, cfg core.Config) string {
 // runMetronome executes the spec and snapshots metrics over the
 // post-warm-up window.
 func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
+	r, m, _ := runMetronomeElastic(s)
+	return r, m
+}
+
+// runMetronomeElastic is runMetronome plus the elastic control plane: when
+// the spec asks for one, a telemetry bus is attached to the deployment, a
+// controller drives the team from an engine ticker (pure virtual-time
+// events, so elastic sweeps stay byte-identical at any -parallel), and the
+// returned report carries the provisioning account. Static deployments get
+// a synthesized report (M threads for the whole window) so elastic and
+// static rows are comparable in one table.
+func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report) {
 	if s.policy != "" {
 		s.cfg.Policy = s.policy
+	}
+	if s.elastic != nil || s.telemetry {
+		budget := s.cfg.M
+		if s.elastic != nil && s.elastic.Budget > budget {
+			budget = s.elastic.Budget
+		}
+		s.cfg.Bus = telemetry.NewBus(len(s.procs), budget)
 	}
 	eng := sim.New()
 	root := xrand.New(s.seed)
@@ -245,6 +277,17 @@ func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
 	s.cfg.Seed = s.seed
 	r := core.New(eng, queues, s.cfg)
 	r.Start()
+	var ctrl *elastic.Controller
+	if s.elastic != nil {
+		ec := *s.elastic
+		if ec.MinThreads == 0 {
+			ec.MinThreads = len(s.procs)
+		}
+		// Construct after Start: the controller's initial clamp resizes
+		// through the live resize path, never double-arming first wakes.
+		ctrl = elastic.New(s.cfg.Bus, r, ec)
+		eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })
+	}
 	if s.warmup > 0 {
 		eng.RunUntil(s.warmup)
 		for _, q := range queues {
@@ -258,22 +301,52 @@ func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
 			r.CyclesByThread[i] = 0
 		}
 		// CPU accounting restarts too: replace through a fresh window.
-		r.Acct = cpu.NewAccounting(s.cfg.M)
+		r.Acct = cpu.NewAccounting(r.ThreadCount())
+		r.ResetProvisioned(eng.Now())
+		if ctrl != nil {
+			ctrl.ResetStats(eng.Now())
+		}
 	}
 	eng.RunUntil(s.warmup + s.dur)
-	return r, r.Snapshot(s.dur)
+	end := s.warmup + s.dur
+	rep := elastic.Report{
+		Resizes:    0,
+		MinThreads: r.TeamSize(), MaxThreads: r.TeamSize(), Final: r.TeamSize(),
+	}
+	if ctrl != nil {
+		rep = ctrl.Report(end)
+	}
+	// Thread-seconds come from the core's exact ∫M(t)dt integral rather
+	// than the controller's tick-quantised account.
+	rep.ThreadSeconds = r.ProvisionedThreadSeconds(end)
+	if s.dur > 0 {
+		rep.MeanThreads = rep.ThreadSeconds / s.dur
+	}
+	return r, r.Snapshot(s.dur), rep
+}
+
+// overrideElastic yields the Options-level elastic override (-elastic on
+// metrobench): a default-tuned controller with a 2M core budget.
+func overrideElastic(o Options, cfg core.Config, nQueues int) *elastic.Config {
+	if !o.Elastic {
+		return nil
+	}
+	ec := elastic.DefaultConfig(nQueues, 2*cfg.M)
+	return &ec
 }
 
 // singleQueueCBR is the common single-queue constant-rate deployment; the
-// Options-level policy override applies unless cfg pinned a discipline.
+// Options-level policy and elastic overrides apply unless cfg pinned a
+// discipline.
 func singleQueueCBR(o Options, cfg core.Config, pps, dur float64, seed uint64) (*core.Runtime, core.Metrics) {
 	return runMetronome(runSpec{
-		cfg:    cfg,
-		policy: overridePolicy(o, cfg),
-		procs:  []traffic.Process{traffic.CBR{PPS: pps}},
-		dur:    dur,
-		warmup: dur * 0.2,
-		seed:   seed,
+		cfg:     cfg,
+		policy:  overridePolicy(o, cfg),
+		elastic: overrideElastic(o, cfg, 1),
+		procs:   []traffic.Process{traffic.CBR{PPS: pps}},
+		dur:     dur,
+		warmup:  dur * 0.2,
+		seed:    seed,
 	})
 }
 

@@ -45,6 +45,9 @@ func rmetronomeSpec(o Options, policy string, shares []float64, totalPPS, d floa
 		dur:    d,
 		warmup: d * 0.2,
 		seed:   o.Seed + seedOff,
+		// The telemetry bus rides along so the work-stealing variant ranks
+		// backups by live queue occupancy instead of the rho EWMA.
+		telemetry: true,
 	}
 }
 
@@ -177,5 +180,70 @@ func runRMetronome(o Options) []*Table {
 		"members of one group take comparable turn shares: the CAS-claimed rotation does not starve a sibling",
 	)
 
-	return []*Table{balanced, unbalanced, fair}
+	// Panel 4 — turn-aware wake de-phasing: the same balanced deployments
+	// with members staggered by TS/r off the service-turn counter
+	// (sched.Dephaser). The delta column is the busy-try rate the stagger
+	// buys back; the vacation columns show the eq. (13) target surviving
+	// it (the stagger is mean-preserving across one rotation).
+	type dpt struct {
+		mpps     float64
+		nq       int
+		dephased bool
+	}
+	var dpts []dpt
+	for _, mpps := range []float64{30, 37} {
+		for _, nq := range []int{2, 3} {
+			for _, de := range []bool{false, true} {
+				dpts = append(dpts, dpt{mpps, nq, de})
+			}
+		}
+	}
+	dpRows := parMap(o, len(dpts), func(i int) []string {
+		p := dpts[i]
+		spec := rmetronomeSpec(o, sched.NameRMetronome, evenShares(p.nq), p.mpps*1e6, d, uint64(1450+i))
+		spec.cfg.Dephase = p.dephased
+		_, met := runMetronome(spec)
+		return []string{
+			fmt.Sprintf("%.0f", p.mpps),
+			fmt.Sprintf("%d", p.nq),
+			fmt.Sprintf("%v", p.dephased),
+			pct(met.BusyTryFrac * 100),
+			us(met.MeanVacation),
+			pct(met.CPUPercent),
+			permille(met.LossRate),
+		}
+	})
+	dephase := &Table{
+		ID:    "fig13-15-rmetronome-dephase",
+		Title: "turn-aware wake de-phasing: busy-try delta, balanced traffic, M=2N",
+		Columns: []string{
+			"mpps", "queues", "dephased", "busy_tries_pct", "V_us", "cpu_pct", "loss_permille",
+		},
+		Rows: dpRows,
+		Notes: []string{
+			"lost-race members re-enter on the rotation clock (B̄/2 + V̄ + d·(V̄+B̄)) instead of a blind r·TS backoff; winners keep the eq. (13) timeout, active only at rho >= 0.45",
+		},
+	}
+	for _, mpps := range []float64{30, 37} {
+		for _, nq := range []int{2, 3} {
+			var base, deph float64
+			for i, p := range dpts {
+				if p.mpps != mpps || p.nq != nq {
+					continue
+				}
+				var f float64
+				fmt.Sscanf(dpRows[i][3], "%f", &f)
+				if p.dephased {
+					deph = f
+				} else {
+					base = f
+				}
+			}
+			dephase.Notes = append(dephase.Notes,
+				fmt.Sprintf("%.0f Mpps, %d queues: busy tries %.1f%% -> %.1f%% (delta %+.1f pp)",
+					mpps, nq, base, deph, deph-base))
+		}
+	}
+
+	return []*Table{balanced, unbalanced, fair, dephase}
 }

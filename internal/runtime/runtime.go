@@ -15,6 +15,7 @@ import (
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
 	"metronome/internal/sched"
+	"metronome/internal/telemetry"
 	"metronome/internal/xrand"
 )
 
@@ -140,6 +141,15 @@ type Config struct {
 	TSFixed time.Duration
 	// Sleeper is the sleep service (default hrtimer.GoSleeper).
 	Sleeper hrtimer.Sleeper
+	// Bus, when set, receives live telemetry: per-queue ring occupancy,
+	// rho, trylock counters and per-thread on-CPU time, published from the
+	// retrieval goroutines with one atomic store each. The elastic control
+	// plane samples it; the work-stealing discipline reads occupancy from
+	// it. Producers should AddDrops/AddRx on it for loss visibility.
+	Bus *telemetry.Bus
+	// Dephase enables turn-aware wake de-phasing in the shared-queue
+	// disciplines (see sched.Dephaser).
+	Dephase bool
 	// Seed drives backup queue selection.
 	Seed uint64
 }
@@ -181,15 +191,32 @@ type queueState struct {
 
 // Runner drives M goroutines over N shared queues. Timeout selection, load
 // estimation and backup queue choice live in the sched.Policy — the same
-// engine the discrete-event twin in internal/core runs on.
+// engine the discrete-event twin in internal/core runs on. The team is
+// elastic: SetTeamSize spawns or parks retrieval goroutines mid-run (the
+// live substrate of internal/elastic).
 type Runner struct {
 	cfg     Config
 	queues  []RxQueue
 	handler Handler
 	policy  sched.Policy
 	group   sched.GroupPolicy // non-nil when the policy binds service groups
+	dephase sched.Dephaser    // non-nil when the policy staggers group wakes
+	bus     *telemetry.Bus    // nil unless Config.Bus
+	lens    []func() int      // per-queue occupancy probes (nil if unknowable)
 	state   []queueState
 	Stats   Stats
+
+	// Elastic team state. teamSize is the desired team; goroutines with
+	// id >= teamSize park on resizeCh (closed-and-replaced on every
+	// resize, a broadcast). spawned tracks how many goroutines exist, so
+	// growth past the high-water mark launches new ones.
+	teamSize atomic.Int32
+	resizeMu sync.Mutex
+	resizeCh chan struct{}
+	spawned  int
+	running  bool
+	runCtx   context.Context
+	wg       *sync.WaitGroup
 
 	start time.Time
 }
@@ -226,10 +253,31 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 			M:       cfg.M,
 			N:       len(queues),
 			Alpha:   cfg.Alpha,
+			Bus:     cfg.Bus,
+			Dephase: cfg.Dephase,
 		}),
-		state: make([]queueState, len(queues)),
+		state:    make([]queueState, len(queues)),
+		resizeCh: make(chan struct{}),
 	}
 	r.group, _ = r.policy.(sched.GroupPolicy)
+	r.dephase, _ = r.policy.(sched.Dephaser)
+	r.bus = cfg.Bus
+	r.teamSize.Store(int32(cfg.M))
+	// Occupancy probes: any queue exposing Len (RxRing does) feeds the
+	// telemetry plane; opaque sources simply stay dark on that signal.
+	r.lens = make([]func() int, len(queues))
+	for i, q := range queues {
+		if lq, ok := q.(interface{ Len() int }); ok {
+			r.lens[i] = lq.Len
+		}
+	}
+	if r.bus != nil {
+		for i, probe := range r.lens {
+			if cq, ok := queues[i].(interface{ Cap() int }); ok && probe != nil {
+				r.bus.SetCapacity(i, float64(cq.Cap()))
+			}
+		}
+	}
 	return r
 }
 
@@ -249,14 +297,89 @@ func seconds(s float64) time.Duration { return time.Duration(s * float64(time.Se
 func (r *Runner) Run(ctx context.Context) {
 	r.start = time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < r.cfg.M; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r.threadLoop(ctx, id)
-		}(i)
+	r.resizeMu.Lock()
+	r.runCtx = ctx
+	r.wg = &wg
+	r.running = true
+	n := int(r.teamSize.Load())
+	for i := r.spawned; i < n; i++ {
+		r.spawnLocked(i)
 	}
+	if n > r.spawned {
+		r.spawned = n
+	}
+	r.resizeMu.Unlock()
 	wg.Wait()
+}
+
+// spawnLocked launches retrieval goroutine id; resizeMu must be held.
+func (r *Runner) spawnLocked(id int) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.threadLoop(r.runCtx, id)
+	}()
+}
+
+// TeamSize returns the current desired team size.
+func (r *Runner) TeamSize() int { return int(r.teamSize.Load()) }
+
+// SetTeamSize grows or shrinks the retrieval team to m mid-run — the live
+// substrate of the elastic control plane. It returns the applied size (m
+// clamps to one thread per queue). Growth spawns goroutines past the
+// high-water mark and wakes parked ones via a closed-channel broadcast;
+// shrinkage lets surplus goroutines finish their current cycle and park.
+// The policy is notified through sched.Resizable, so r = M/N group
+// members re-home through the existing CAS turn machinery on their next
+// cycle. Safe to call before Run (the team starts at the new size) and
+// from any goroutine while running.
+func (r *Runner) SetTeamSize(m int) int {
+	if m < len(r.queues) {
+		m = len(r.queues)
+	}
+	r.resizeMu.Lock()
+	defer r.resizeMu.Unlock()
+	if m == int(r.teamSize.Load()) {
+		return m
+	}
+	r.teamSize.Store(int32(m))
+	if rz, ok := r.policy.(sched.Resizable); ok {
+		rz.SetTeamSize(m)
+	}
+	if r.running {
+		for id := r.spawned; id < m; id++ {
+			r.spawnLocked(id)
+		}
+		if m > r.spawned {
+			r.spawned = m
+		}
+	}
+	// Broadcast: every parked goroutine re-checks its id against the new
+	// team size.
+	close(r.resizeCh)
+	r.resizeCh = make(chan struct{})
+	return m
+}
+
+// park blocks goroutine id until a resize re-admits it or ctx ends; it
+// returns true when the goroutine should resume serving.
+func (r *Runner) park(ctx context.Context, id int) bool {
+	for {
+		r.resizeMu.Lock()
+		ch := r.resizeCh
+		r.resizeMu.Unlock()
+		// Re-check under the freshly fetched channel: a resize that
+		// re-admitted this id before we fetched ch has already closed the
+		// channel we would otherwise have missed.
+		if id < int(r.teamSize.Load()) {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ch:
+		}
+	}
 }
 
 func (r *Runner) nanotime() int64 { return int64(time.Since(r.start)) }
@@ -273,8 +396,25 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 	rng := xrand.New(xrand.SeedFrom(r.cfg.Seed, uint64(id), uint64(len(r.queues))))
 	buf := make([]*mbuf.Mbuf, r.cfg.Burst)
 	q := id % len(r.queues)
+	var busyTotal time.Duration // cumulative on-CPU time, published as duty
 	for ctx.Err() == nil {
+		if id >= int(r.teamSize.Load()) {
+			// Elastically retired: finish nothing (we hold no lock here),
+			// park until a resize re-admits us, then re-home — the group
+			// layout may have moved while we were out.
+			if !r.park(ctx, id) {
+				return
+			}
+			q = id % len(r.queues)
+			if r.group != nil {
+				q = r.group.HomeQueue(id)
+			}
+			continue
+		}
 		r.Stats.Tries.Add(1)
+		if r.bus != nil {
+			r.bus.AddTries(q, 1)
+		}
 		// Shared-queue disciplines CAS-claim the queue's service turn
 		// before touching its trylock: a failed claim proves a sibling
 		// claimed a turn concurrently, so this thread is surplus for the
@@ -284,8 +424,19 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		st := &r.state[q]
 		if (r.group != nil && !r.group.ClaimTurn(q)) || !st.lock.CompareAndSwap(false, true) {
 			r.Stats.BusyTries.Add(1)
+			if r.bus != nil {
+				r.bus.AddBusyTries(q, 1)
+				if probe := r.lens[q]; probe != nil {
+					r.bus.SetOccupancy(q, float64(probe()))
+				}
+			}
 			tl := r.policy.TL(q)
 			q = r.policy.PickBackupQueue(q, rng)
+			if r.dephase != nil {
+				// A colliding group member re-spreads onto the rotation
+				// clock (no-op for foreign re-targets).
+				tl = r.dephase.Dephase(id, q, tl, true)
+			}
 			r.cfg.Sleeper.Sleep(seconds(tl))
 			continue
 		}
@@ -299,6 +450,9 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			r.handler(buf[:n])
 			r.Stats.Packets.Add(uint64(n))
 			r.Stats.Bursts.Add(1)
+			if r.bus != nil {
+				r.bus.AddRx(q, uint64(n))
+			}
 		}
 		ended := r.nanotime()
 		busy := time.Duration(ended - began)
@@ -311,6 +465,14 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		st.lastRelease.Store(ended)
 		r.Stats.Cycles.Add(1)
 		st.lock.Store(false)
+		if r.bus != nil {
+			busyTotal += busy
+			r.bus.SetRho(q, r.policy.Rho(q))
+			r.bus.SetThreadBusy(id, busyTotal.Seconds())
+			if probe := r.lens[q]; probe != nil {
+				r.bus.SetOccupancy(q, float64(probe()))
+			}
+		}
 
 		// Shared-queue disciplines keep service groups stable: a member
 		// that served a foreign queue as backup returns home and re-arms
@@ -320,6 +482,9 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 				q = home
 				ts = r.policy.TS(home)
 			}
+		}
+		if r.dephase != nil {
+			ts = r.dephase.Dephase(id, q, ts, false)
 		}
 		r.cfg.Sleeper.Sleep(seconds(ts))
 	}

@@ -9,6 +9,7 @@ import (
 
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
+	"metronome/internal/telemetry"
 	"metronome/internal/xrand"
 )
 
@@ -511,5 +512,91 @@ func TestRunnerOnSPSCFastPath(t *testing.T) {
 	}
 	if pool.Available() != pool.Size() {
 		t.Fatalf("pool leak: %d/%d", pool.Available(), pool.Size())
+	}
+}
+
+// TestResizeUnderLoadRace hammers SetTeamSize while packets flow — run
+// with -race (CI does): goroutine spawn/park, the policy's layout swaps
+// and the telemetry publishing must all be data-race free, every packet
+// must still be processed exactly once, and the team must land on the
+// final requested size.
+func TestResizeUnderLoadRace(t *testing.T) {
+	bench := newBench(t, 2)
+	bus := telemetry.NewBus(2, 16)
+	var processed atomic.Uint64
+	handler := func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			processed.Add(1)
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{
+		M: 2, VBar: 100 * time.Microsecond, Seed: 31,
+		Policy: "worksteal", Bus: bus, Dephase: true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	// Resizer: sweep the team size up and down while the producer runs.
+	sizes := []int{6, 3, 9, 2, 7, 4, 8, 2, 5, 6}
+	var rz sync.WaitGroup
+	rz.Add(1)
+	go func() {
+		defer rz.Done()
+		for i := 0; ctx.Err() == nil && i < len(sizes)*5; i++ {
+			r.SetTeamSize(sizes[i%len(sizes)])
+			time.Sleep(2 * time.Millisecond)
+		}
+		r.SetTeamSize(6)
+	}()
+
+	sent := bench.produce(ctx, 20000)
+	deadline := time.Now().Add(10 * time.Second)
+	for processed.Load() < uint64(sent) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rz.Wait()
+	if got := r.TeamSize(); got != 6 {
+		t.Errorf("final team size %d, want 6", got)
+	}
+	cancel()
+	wg.Wait()
+	if processed.Load() != uint64(sent) {
+		t.Fatalf("processed %d of %d under resizing", processed.Load(), sent)
+	}
+	if bench.pool.Available() != bench.pool.Size() {
+		t.Fatalf("pool leak: %d/%d", bench.pool.Available(), bench.pool.Size())
+	}
+	// Telemetry flowed from the goroutines.
+	if bus.Tries(0)+bus.Tries(1) == 0 {
+		t.Error("no tries published to the bus")
+	}
+}
+
+// TestRunnerImplementsElasticTeam pins the live substrate's Team contract:
+// resizes before Run apply at spawn time, the floor is the queue count.
+func TestRunnerImplementsElasticTeam(t *testing.T) {
+	bench := newBench(t, 2)
+	r := New(bench.queues, func(b []*mbuf.Mbuf) {}, Config{M: 4, Seed: 1})
+	if got := r.TeamSize(); got != 4 {
+		t.Fatalf("initial team %d", got)
+	}
+	if applied := r.SetTeamSize(1); applied != 2 {
+		t.Fatalf("SetTeamSize(1) applied %d, want clamp to N=2", applied)
+	}
+	if applied := r.SetTeamSize(7); applied != 7 {
+		t.Fatalf("SetTeamSize(7) applied %d", applied)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if got := r.TeamSize(); got != 7 {
+		t.Fatalf("team after run %d, want 7", got)
 	}
 }

@@ -19,7 +19,8 @@ type AdaptiveTS struct {
 // NewAdaptiveTS builds the adaptive policy; every queue starts at the
 // rho=0 timeout (M/N)*VBar.
 func NewAdaptiveTS(cfg Config) *AdaptiveTS {
-	p := &AdaptiveTS{base: newBase(cfg)}
+	p := &AdaptiveTS{}
+	p.base.init(cfg)
 	for q := range p.ts {
 		p.ts[q].Store(p.evaluate(0))
 	}
@@ -29,9 +30,10 @@ func NewAdaptiveTS(cfg Config) *AdaptiveTS {
 // Name implements Policy.
 func (p *AdaptiveTS) Name() string { return NameAdaptive }
 
-// evaluate is eq. (14) (eq. (13) when N=1) for a load estimate.
+// evaluate is eq. (14) (eq. (13) when N=1) for a load estimate, using the
+// live team size so elastic resizes re-shape the timeout rule online.
 func (p *AdaptiveTS) evaluate(rho float64) float64 {
-	return model.TSForTargetMultiqueue(p.cfg.VBar, rho, p.cfg.M, p.cfg.N)
+	return model.TSForTargetMultiqueue(p.cfg.VBar, rho, p.TeamSize(), p.cfg.N)
 }
 
 // ObserveCycle implements Policy.
@@ -39,4 +41,16 @@ func (p *AdaptiveTS) ObserveCycle(q int, busy, vacation float64) float64 {
 	ts := p.evaluate(p.est.Observe(q, busy, vacation))
 	p.ts[q].Store(ts)
 	return ts
+}
+
+// SetTeamSize implements Resizable: eq. (14) depends on M, so the cached
+// per-queue timeouts re-evaluate immediately at the current load estimates
+// instead of waiting one cycle per queue. Concurrent ObserveCycle stores
+// race benignly: both values are valid eq. (14) outputs and the next cycle
+// converges them.
+func (p *AdaptiveTS) SetTeamSize(m int) {
+	p.base.SetTeamSize(m)
+	for q := range p.ts {
+		p.ts[q].Store(p.evaluate(p.est.Rho(q)))
+	}
 }

@@ -20,7 +20,8 @@ type BusyPoll struct {
 
 // NewBusyPoll builds the busy-polling policy.
 func NewBusyPoll(cfg Config) *BusyPoll {
-	p := &BusyPoll{base: newBase(cfg)}
+	p := &BusyPoll{}
+	p.base.init(cfg)
 	// ts entries stay zero: never sleep.
 	return p
 }

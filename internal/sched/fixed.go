@@ -16,7 +16,8 @@ type FixedTS struct {
 
 // NewFixedTS builds the fixed policy; TSFixed zero falls back to VBar.
 func NewFixedTS(cfg Config) *FixedTS {
-	p := &FixedTS{base: newBase(cfg)}
+	p := &FixedTS{}
+	p.base.init(cfg)
 	ts := p.cfg.TSFixed
 	if ts <= 0 {
 		ts = p.cfg.VBar

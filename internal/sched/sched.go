@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"metronome/internal/telemetry"
 )
 
 // Rand is the slice of randomness a policy may consume; xrand.Rand
@@ -47,6 +50,21 @@ type Config struct {
 	// BackupSticky makes a losing thread re-contend the same queue
 	// instead of re-targeting a random one (the anti-Sec. IV-E strawman).
 	BackupSticky bool
+	// Bus, when set, gives the policy live queue telemetry: the
+	// work-stealing discipline re-targets backups at the queue with the
+	// highest *observed occupancy* (nic occupancy in the sim, ring Len in
+	// the live runtime) instead of the slower rho EWMA, so stealing reacts
+	// within a vacation. Policies must degrade gracefully to their
+	// EWMA-driven behaviour when Bus is nil.
+	Bus *telemetry.Bus
+	// Dephase enables turn-aware wake de-phasing in the shared-queue
+	// disciplines: a group member that *lost a race* at service-dominated
+	// load re-enters on the rotation clock (B̄/2 + V̄ + d·(V̄+B̄), with d
+	// its service-turn distance) instead of backing off a blind rotation
+	// r·TS, cutting busy tries while tracking the vacation target better.
+	// Winners keep the eq. (13) timeout untouched — see
+	// RMetronome.Dephase for the measurements behind that split.
+	Dephase bool
 }
 
 func (c Config) normalized() Config {
@@ -108,6 +126,34 @@ type GroupPolicy interface {
 	Turns(q int) uint64
 }
 
+// Resizable is an optional Policy extension for disciplines that can adopt
+// a new thread-team size online — the hook the elastic control plane
+// (internal/elastic) drives when it grows or shrinks the team. The queue
+// count N is fixed for a deployment; only M moves. Implementations must
+// re-derive whatever M-dependent state they hold (eq. (14)'s M/N average,
+// r = M/N service-group membership) and republish per-queue timeouts, all
+// safe against concurrent TS/Rho readers and per-queue-serialised
+// ObserveCycle callers. Every built-in policy implements it.
+type Resizable interface {
+	// SetTeamSize adopts m retrieval threads (clamped to >= 1).
+	SetTeamSize(m int)
+	// TeamSize returns the team size the policy currently assumes.
+	TeamSize() int
+}
+
+// Dephaser is an optional Policy extension for disciplines that stagger a
+// member's next wake within its service group. Both substrates pass every
+// home-queue sleep through Dephase when the policy implements it — the
+// release-path sleep after a completed cycle (backup false) and the
+// backoff after a lost race (backup true, with a service in progress that
+// the adjusted sleep should ride out). A policy without an opinion
+// returns ts unchanged.
+type Dephaser interface {
+	// Dephase returns the possibly adjusted sleep for thread's next wake
+	// on queue q, given the policy-computed timeout ts.
+	Dephase(thread, q int, ts float64, backup bool) float64
+}
+
 // Factory builds a policy instance for a deployment.
 type Factory func(Config) Policy
 
@@ -162,20 +208,35 @@ func Names() []string {
 }
 
 // base carries the state every built-in discipline shares: the config, the
-// load estimator, and the cached per-queue TS.
+// load estimator, the cached per-queue TS, and the (elastically resizable)
+// team size. cfg.M is the construction-time size; m is the live one.
 type base struct {
 	cfg Config
+	m   atomic.Int64
 	est *RhoEstimator
 	ts  []atomicF64
 }
 
-func newBase(cfg Config) base {
+// init fills b in place (base holds atomics, so it is never copied).
+func (b *base) init(cfg Config) {
 	cfg = cfg.normalized()
-	return base{
-		cfg: cfg,
-		est: NewRhoEstimator(cfg.N, cfg.Alpha),
-		ts:  make([]atomicF64, cfg.N),
+	b.cfg = cfg
+	b.est = NewRhoEstimator(cfg.N, cfg.Alpha)
+	b.ts = make([]atomicF64, cfg.N)
+	b.m.Store(int64(cfg.M))
+}
+
+// TeamSize implements Resizable: the thread count the policy assumes.
+func (b *base) TeamSize() int { return int(b.m.Load()) }
+
+// SetTeamSize implements Resizable for disciplines whose only M-dependent
+// state is the team size itself (fixed, busypoll). Disciplines that derive
+// timeouts or group shapes from M re-publish them on top of this.
+func (b *base) SetTeamSize(m int) {
+	if m < 1 {
+		m = 1
 	}
+	b.m.Store(int64(m))
 }
 
 // TS returns the cached short timeout of queue q.

@@ -1,0 +1,26 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetrySample is the CI alloc gate for the telemetry plane
+// (BENCH_telemetry.json): one publish of every per-queue signal plus a full
+// controller-style Sample must not allocate — the bus sits on the retrieval
+// hot path of both substrates.
+func BenchmarkTelemetrySample(b *testing.B) {
+	bus := NewBus(4, 16)
+	var s Snapshot
+	bus.Sample(&s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i & 3
+		bus.SetOccupancy(q, float64(i))
+		bus.SetRho(q, 0.5)
+		bus.SetDrops(q, uint64(i))
+		bus.SetRx(q, uint64(i))
+		bus.SetTries(q, uint64(i))
+		bus.SetBusyTries(q, uint64(i))
+		bus.SetThreadBusy(i&15, float64(i))
+		bus.Sample(&s)
+	}
+}

@@ -1,0 +1,203 @@
+// Package telemetry is the lock-free telemetry plane underneath the
+// elastic control loop: a fixed set of atomic slots — per-queue occupancy,
+// ring capacity, load estimate, drop/receive/trylock counters and
+// per-thread on-CPU time — that both execution substrates publish into and
+// the elastic controller (or any observer) samples out of.
+//
+// The bus is sized once at construction and never allocates afterwards:
+// publishing is one atomic store or add per datum, sampling fills a
+// caller-owned Snapshot. Every slot is padded to its own cache line so the
+// live runtime's goroutines never false-share a publisher's line (the same
+// reason rte_ring pads its head/tail indices). Readers see each slot
+// atomically but the set of slots is not a consistent cut — the controller
+// works on per-slot deltas and tolerates torn cross-slot views, which is
+// what makes the plane lock-free on both sides.
+//
+// The discrete-event twin publishes from a single goroutine, so for it the
+// atomics are pure overhead-free determinism; the live runtime publishes
+// from M goroutines plus its producers.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// slot is one cache-line-padded atomic cell. Gauges store float64 bits,
+// counters store uint64 counts; the interpretation is the bus's.
+type slot struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes: no two slots share a line
+}
+
+func (s *slot) storeF(v float64) { s.v.Store(math.Float64bits(v)) }
+func (s *slot) loadF() float64   { return math.Float64frombits(s.v.Load()) }
+func (s *slot) store(v uint64)   { s.v.Store(v) }
+func (s *slot) add(n uint64)     { s.v.Add(n) }
+func (s *slot) load() uint64     { return s.v.Load() }
+
+// Bus is the fixed-slot telemetry plane for one deployment: nq queues and
+// up to nt threads (size it for the elastic budget, not the initial team).
+type Bus struct {
+	nq, nt int
+
+	occ      []slot // per-queue occupancy in packets (gauge)
+	capacity []slot // per-queue ring capacity in packets (gauge)
+	rho      []slot // per-queue load estimate (gauge)
+	drops    []slot // per-queue dropped packets (counter)
+	rx       []slot // per-queue received packets (counter)
+	tries    []slot // per-queue trylock attempts (counter)
+	busyTry  []slot // per-queue failed trylock attempts (counter)
+	busy     []slot // per-thread cumulative on-CPU seconds (gauge)
+}
+
+// NewBus builds a bus over nQueues queues and maxThreads thread slots.
+// Thread indices at or above maxThreads are dropped on publish (a resize
+// beyond the sized budget must not fault the hot path).
+func NewBus(nQueues, maxThreads int) *Bus {
+	if nQueues < 1 {
+		nQueues = 1
+	}
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	return &Bus{
+		nq:       nQueues,
+		nt:       maxThreads,
+		occ:      make([]slot, nQueues),
+		capacity: make([]slot, nQueues),
+		rho:      make([]slot, nQueues),
+		drops:    make([]slot, nQueues),
+		rx:       make([]slot, nQueues),
+		tries:    make([]slot, nQueues),
+		busyTry:  make([]slot, nQueues),
+		busy:     make([]slot, maxThreads),
+	}
+}
+
+// Queues returns the number of queue slots.
+func (b *Bus) Queues() int { return b.nq }
+
+// Threads returns the number of thread slots.
+func (b *Bus) Threads() int { return b.nt }
+
+// SetOccupancy publishes queue q's instantaneous buffered packet count.
+func (b *Bus) SetOccupancy(q int, pkts float64) { b.occ[q].storeF(pkts) }
+
+// Occupancy returns the last published occupancy of queue q.
+func (b *Bus) Occupancy(q int) float64 { return b.occ[q].loadF() }
+
+// SetCapacity publishes queue q's descriptor-ring capacity.
+func (b *Bus) SetCapacity(q int, pkts float64) { b.capacity[q].storeF(pkts) }
+
+// Capacity returns queue q's published ring capacity.
+func (b *Bus) Capacity(q int) float64 { return b.capacity[q].loadF() }
+
+// SetRho publishes queue q's load estimate.
+func (b *Bus) SetRho(q int, rho float64) { b.rho[q].storeF(rho) }
+
+// Rho returns queue q's published load estimate.
+func (b *Bus) Rho(q int) float64 { return b.rho[q].loadF() }
+
+// SetDrops publishes queue q's cumulative drop count (sim substrate: the
+// queue model owns the authoritative counter).
+func (b *Bus) SetDrops(q int, n uint64) { b.drops[q].store(n) }
+
+// AddDrops accumulates drops on queue q (live substrate: the producer that
+// failed an enqueue reports them).
+func (b *Bus) AddDrops(q int, n uint64) { b.drops[q].add(n) }
+
+// Drops returns queue q's cumulative drop count.
+func (b *Bus) Drops(q int) uint64 { return b.drops[q].load() }
+
+// SetRx publishes queue q's cumulative received-packet count.
+func (b *Bus) SetRx(q int, n uint64) { b.rx[q].store(n) }
+
+// AddRx accumulates received packets on queue q.
+func (b *Bus) AddRx(q int, n uint64) { b.rx[q].add(n) }
+
+// Rx returns queue q's cumulative received-packet count.
+func (b *Bus) Rx(q int) uint64 { return b.rx[q].load() }
+
+// SetTries publishes queue q's cumulative trylock-attempt count.
+func (b *Bus) SetTries(q int, n uint64) { b.tries[q].store(n) }
+
+// AddTries accumulates trylock attempts on queue q.
+func (b *Bus) AddTries(q int, n uint64) { b.tries[q].add(n) }
+
+// Tries returns queue q's cumulative trylock-attempt count.
+func (b *Bus) Tries(q int) uint64 { return b.tries[q].load() }
+
+// SetBusyTries publishes queue q's cumulative failed-trylock count.
+func (b *Bus) SetBusyTries(q int, n uint64) { b.busyTry[q].store(n) }
+
+// AddBusyTries accumulates failed trylock attempts on queue q.
+func (b *Bus) AddBusyTries(q int, n uint64) { b.busyTry[q].add(n) }
+
+// BusyTries returns queue q's cumulative failed-trylock count.
+func (b *Bus) BusyTries(q int) uint64 { return b.busyTry[q].load() }
+
+// SetThreadBusy publishes thread t's cumulative on-CPU seconds. Indices
+// beyond the sized budget are dropped, not faulted.
+func (b *Bus) SetThreadBusy(t int, seconds float64) {
+	if t < b.nt {
+		b.busy[t].storeF(seconds)
+	}
+}
+
+// ThreadBusy returns thread t's cumulative on-CPU seconds (zero beyond the
+// sized budget).
+func (b *Bus) ThreadBusy(t int) float64 {
+	if t >= b.nt {
+		return 0
+	}
+	return b.busy[t].loadF()
+}
+
+// Snapshot is a caller-owned sample of the whole bus. Reuse one value
+// across Sample calls: after the first call sized to the bus, sampling
+// allocates nothing.
+type Snapshot struct {
+	Occ, Cap, Rho            []float64
+	Drops, Rx, Tries, BusyTr []uint64
+	ThreadBusy               []float64
+}
+
+// Sample fills dst with the current slot values, growing its slices only
+// if they do not match the bus shape yet.
+func (b *Bus) Sample(dst *Snapshot) {
+	dst.Occ = sizedF(dst.Occ, b.nq)
+	dst.Cap = sizedF(dst.Cap, b.nq)
+	dst.Rho = sizedF(dst.Rho, b.nq)
+	dst.Drops = sizedU(dst.Drops, b.nq)
+	dst.Rx = sizedU(dst.Rx, b.nq)
+	dst.Tries = sizedU(dst.Tries, b.nq)
+	dst.BusyTr = sizedU(dst.BusyTr, b.nq)
+	dst.ThreadBusy = sizedF(dst.ThreadBusy, b.nt)
+	for q := 0; q < b.nq; q++ {
+		dst.Occ[q] = b.occ[q].loadF()
+		dst.Cap[q] = b.capacity[q].loadF()
+		dst.Rho[q] = b.rho[q].loadF()
+		dst.Drops[q] = b.drops[q].load()
+		dst.Rx[q] = b.rx[q].load()
+		dst.Tries[q] = b.tries[q].load()
+		dst.BusyTr[q] = b.busyTry[q].load()
+	}
+	for t := 0; t < b.nt; t++ {
+		dst.ThreadBusy[t] = b.busy[t].loadF()
+	}
+}
+
+func sizedF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func sizedU(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}

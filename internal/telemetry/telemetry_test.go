@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugesAndCounters(t *testing.T) {
+	b := NewBus(2, 3)
+	if b.Queues() != 2 || b.Threads() != 3 {
+		t.Fatalf("shape = %d queues / %d threads", b.Queues(), b.Threads())
+	}
+	b.SetOccupancy(0, 17.5)
+	b.SetCapacity(0, 4096)
+	b.SetRho(1, 0.42)
+	b.SetDrops(0, 100)
+	b.AddDrops(0, 5)
+	b.AddRx(1, 7)
+	b.SetTries(1, 9)
+	b.AddBusyTries(1, 2)
+	b.SetThreadBusy(2, 1.5)
+	if got := b.Occupancy(0); got != 17.5 {
+		t.Errorf("occupancy = %v", got)
+	}
+	if got := b.Capacity(0); got != 4096 {
+		t.Errorf("capacity = %v", got)
+	}
+	if got := b.Rho(1); got != 0.42 {
+		t.Errorf("rho = %v", got)
+	}
+	if got := b.Drops(0); got != 105 {
+		t.Errorf("drops = %v", got)
+	}
+	if got := b.Rx(1); got != 7 {
+		t.Errorf("rx = %v", got)
+	}
+	if got := b.Tries(1); got != 9 {
+		t.Errorf("tries = %v", got)
+	}
+	if got := b.BusyTries(1); got != 2 {
+		t.Errorf("busy tries = %v", got)
+	}
+	if got := b.ThreadBusy(2); got != 1.5 {
+		t.Errorf("thread busy = %v", got)
+	}
+}
+
+func TestThreadSlotsBeyondBudgetAreDropped(t *testing.T) {
+	b := NewBus(1, 2)
+	b.SetThreadBusy(5, 3.0) // must not panic
+	if got := b.ThreadBusy(5); got != 0 {
+		t.Errorf("out-of-budget slot = %v, want 0", got)
+	}
+}
+
+func TestSampleFillsSnapshot(t *testing.T) {
+	b := NewBus(2, 2)
+	b.SetOccupancy(1, 3)
+	b.SetRho(0, 0.9)
+	b.AddDrops(1, 11)
+	b.SetThreadBusy(0, 0.25)
+	var s Snapshot
+	b.Sample(&s)
+	if len(s.Occ) != 2 || len(s.ThreadBusy) != 2 {
+		t.Fatalf("snapshot shape: %d occ, %d busy", len(s.Occ), len(s.ThreadBusy))
+	}
+	if s.Occ[1] != 3 || s.Rho[0] != 0.9 || s.Drops[1] != 11 || s.ThreadBusy[0] != 0.25 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// The elastic controller samples the bus every control period; the hot path
+// contract is zero allocations for both publish and (warm) sample.
+func TestPublishAndSampleAllocationFree(t *testing.T) {
+	b := NewBus(4, 8)
+	var s Snapshot
+	b.Sample(&s) // warm the snapshot buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		b.SetOccupancy(2, 99)
+		b.AddDrops(2, 1)
+		b.SetRho(2, 0.5)
+		b.SetThreadBusy(3, 1)
+		b.Sample(&s)
+	})
+	if allocs != 0 {
+		t.Fatalf("publish+sample allocates %v per run, want 0", allocs)
+	}
+}
+
+// Concurrent publishers and a sampler: the race detector is the assertion.
+func TestConcurrentPublishSample(t *testing.T) {
+	b := NewBus(4, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b.SetOccupancy(w, float64(i))
+				b.AddTries(w, 1)
+				b.AddBusyTries(w, 1)
+				b.SetThreadBusy(w, float64(i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var s Snapshot
+		for i := 0; i < 2000; i++ {
+			b.Sample(&s)
+		}
+	}()
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		if b.Tries(w) != 2000 {
+			t.Errorf("queue %d tries = %d, want 2000", w, b.Tries(w))
+		}
+	}
+}

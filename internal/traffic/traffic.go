@@ -194,6 +194,89 @@ func (o OnOff) CountIn(t0, t1 float64, _ *xrand.Rand) int64 {
 	return int64(total)
 }
 
+// Sine is a diurnal-shaped arrival process: rate Base + Amp*sin(2*pi*t/
+// Period), the day/night load curve of the elastic-scaling experiments
+// compressed into simulation time. Amp is clamped to Base so the rate
+// never goes negative, which keeps the cumulative count exactly
+// integrable.
+type Sine struct {
+	Base   float64 // mean rate in packets/second
+	Amp    float64 // swing around the mean (|Amp| <= Base effective)
+	Period float64 // full day length in seconds
+}
+
+func (s Sine) amp() float64 {
+	a := s.Amp
+	if a > s.Base {
+		a = s.Base
+	}
+	if a < -s.Base {
+		a = -s.Base
+	}
+	return a
+}
+
+// Rate implements Process.
+func (s Sine) Rate(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Base
+	}
+	return s.Base + s.amp()*math.Sin(2*math.Pi*t/s.Period)
+}
+
+// cumulative is the exact integral of Rate over [0, t).
+func (s Sine) cumulative(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Base * t
+	}
+	w := 2 * math.Pi / s.Period
+	return s.Base*t - s.amp()/w*(math.Cos(w*t)-1)
+}
+
+// CountIn places arrivals deterministically on the cumulative-rate grid,
+// like CBR: the count in [t0,t1) is floor(F(t1)) - floor(F(t0)).
+func (s Sine) CountIn(t0, t1 float64, _ *xrand.Rand) int64 {
+	if t1 <= t0 || s.Base <= 0 {
+		return 0
+	}
+	n := int64(math.Floor(s.cumulative(t1))) - int64(math.Floor(s.cumulative(t0)))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Step switches from one arrival process to another at time At — the
+// flash-crowd edge and the hot-queue migration of the elastic experiments.
+// Both sub-processes see absolute simulation time, so Step{At, CBR, CBR}
+// is an exact rate step and Steps can nest for multi-phase shapes.
+type Step struct {
+	At            float64
+	Before, After Process
+}
+
+// Rate implements Process.
+func (s Step) Rate(t float64) float64 {
+	if t < s.At {
+		return s.Before.Rate(t)
+	}
+	return s.After.Rate(t)
+}
+
+// CountIn splits the interval at the switch point.
+func (s Step) CountIn(t0, t1 float64, rng *xrand.Rand) int64 {
+	if t1 <= t0 {
+		return 0
+	}
+	if t1 <= s.At {
+		return s.Before.CountIn(t0, t1, rng)
+	}
+	if t0 >= s.At {
+		return s.After.CountIn(t0, t1, rng)
+	}
+	return s.Before.CountIn(t0, s.At, rng) + s.After.CountIn(s.At, t1, rng)
+}
+
 // Scaled wraps a process with a multiplicative factor; the multiqueue
 // experiments use it to hand each Rx queue its RSS share of the total load.
 type Scaled struct {

@@ -192,3 +192,83 @@ func TestMeanInZeroWidth(t *testing.T) {
 		t.Error("zero-width integral must be 0")
 	}
 }
+
+func TestSineShapeAndCount(t *testing.T) {
+	s := Sine{Base: 1e6, Amp: 0.5e6, Period: 0.4}
+	if r := s.Rate(0); math.Abs(r-1e6) > 1 {
+		t.Errorf("rate at t=0 = %v, want Base", r)
+	}
+	if r := s.Rate(0.1); math.Abs(r-1.5e6) > 1 {
+		t.Errorf("rate at quarter period = %v, want Base+Amp", r)
+	}
+	if r := s.Rate(0.3); math.Abs(r-0.5e6) > 1 {
+		t.Errorf("rate at three quarters = %v, want Base-Amp", r)
+	}
+	// One full period integrates to exactly Base*Period arrivals.
+	got := s.CountIn(0, 0.4, nil)
+	if want := int64(1e6 * 0.4); got < want-1 || got > want+1 {
+		t.Errorf("count over one period = %d, want ~%d", got, want)
+	}
+	// Counts are additive over adjacent intervals (no double counting).
+	split := s.CountIn(0, 0.13, nil) + s.CountIn(0.13, 0.4, nil)
+	if split != got {
+		t.Errorf("split count %d != whole count %d", split, got)
+	}
+	// Count matches the numeric integral on an asymmetric window.
+	want := int64(MeanIn(s, 0.05, 0.31, 4000))
+	if got := s.CountIn(0.05, 0.31, nil); got < want-2 || got > want+2 {
+		t.Errorf("count = %d, integral says ~%d", got, want)
+	}
+}
+
+func TestSineAmpClampsToBase(t *testing.T) {
+	s := Sine{Base: 1e5, Amp: 9e5, Period: 1}
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		if r := s.Rate(tt); r < 0 {
+			t.Fatalf("negative rate %v at t=%v", r, tt)
+		}
+	}
+}
+
+func TestStepSwitchesProcesses(t *testing.T) {
+	s := Step{At: 0.5, Before: CBR{PPS: 1e6}, After: CBR{PPS: 3e6}}
+	if r := s.Rate(0.49); r != 1e6 {
+		t.Errorf("before rate = %v", r)
+	}
+	if r := s.Rate(0.5); r != 3e6 {
+		t.Errorf("after rate = %v", r)
+	}
+	// Count across the edge = exact sum of both halves.
+	got := s.CountIn(0.4, 0.6, nil)
+	want := CBR{PPS: 1e6}.CountIn(0.4, 0.5, nil) + CBR{PPS: 3e6}.CountIn(0.5, 0.6, nil)
+	if got != want {
+		t.Errorf("count across edge = %d, want %d", got, want)
+	}
+	// Entirely on either side delegates cleanly.
+	if got := s.CountIn(0, 0.25, nil); got != (CBR{PPS: 1e6}).CountIn(0, 0.25, nil) {
+		t.Errorf("before-side count = %d", got)
+	}
+	if got := s.CountIn(0.7, 1.0, nil); got != (CBR{PPS: 3e6}).CountIn(0.7, 1.0, nil) {
+		t.Errorf("after-side count = %d", got)
+	}
+}
+
+func TestStepNestsForMultiPhase(t *testing.T) {
+	// Flash crowd: low, spike at 0.2, back down at 0.6.
+	crowd := Step{At: 0.2, Before: CBR{PPS: 1e6},
+		After: Step{At: 0.6, Before: CBR{PPS: 10e6}, After: CBR{PPS: 1e6}}}
+	if r := crowd.Rate(0.1); r != 1e6 {
+		t.Errorf("pre-spike rate %v", r)
+	}
+	if r := crowd.Rate(0.4); r != 10e6 {
+		t.Errorf("spike rate %v", r)
+	}
+	if r := crowd.Rate(0.8); r != 1e6 {
+		t.Errorf("post-spike rate %v", r)
+	}
+	got := crowd.CountIn(0, 1, nil)
+	want := int64(1e6*0.2 + 10e6*0.4 + 1e6*0.4)
+	if got < want-3 || got > want+3 {
+		t.Errorf("total count %d, want ~%d", got, want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"metronome/internal/core"
+	"metronome/internal/elastic"
 	"metronome/internal/experiments"
 	"metronome/internal/hrtimer"
 	"metronome/internal/mbuf"
@@ -36,6 +37,7 @@ import (
 	"metronome/internal/runtime"
 	"metronome/internal/sched"
 	"metronome/internal/sim"
+	"metronome/internal/telemetry"
 	"metronome/internal/traffic"
 	"metronome/internal/xrand"
 )
@@ -119,6 +121,12 @@ type (
 	// disciplines implement: per-queue service groups, home queues, and
 	// CAS-claimed service turns.
 	SchedGroupPolicy = sched.GroupPolicy
+	// SchedResizable is the optional Policy extension resizable
+	// disciplines implement: adopting a new thread-team size online.
+	SchedResizable = sched.Resizable
+	// SchedDephaser is the optional Policy extension for turn-aware wake
+	// de-phasing of shared-queue groups.
+	SchedDephaser = sched.Dephaser
 )
 
 // Built-in policy names for SimConfig.Policy / RunnerConfig.Policy.
@@ -150,6 +158,52 @@ func RegisterPolicy(name string, factory func(SchedConfig) SchedPolicy) {
 
 // PolicyNames lists the registered disciplines.
 func PolicyNames() []string { return sched.Names() }
+
+// --- elastic control plane ----------------------------------------------------
+
+// The elastic control plane autoscales the retrieval team over a live
+// telemetry bus: both the simulation twin (SimulateElastic) and the live
+// runtime honour mid-run resizes. Wire a live deployment by sharing one
+// TelemetryBus between RunnerConfig.Bus and NewElasticController, then run
+// the controller loop: go ctrl.Run(ctx).
+type (
+	// TelemetryBus is the lock-free fixed-slot telemetry plane both
+	// substrates publish into (per-queue occupancy/rho/loss counters,
+	// per-thread duty) and the elastic controller samples.
+	TelemetryBus = telemetry.Bus
+	// TelemetrySnapshot is a caller-owned sample of a whole bus.
+	TelemetrySnapshot = telemetry.Snapshot
+	// ElasticConfig tunes the control plane: control period, core budget,
+	// occupancy target, PI gains, hysteresis and cooldown.
+	ElasticConfig = elastic.Config
+	// ElasticController is the occupancy/loss PI controller driving a
+	// resizable team.
+	ElasticController = elastic.Controller
+	// ElasticReport summarises a controller window: thread-seconds,
+	// resize count, team-size envelope.
+	ElasticReport = elastic.Report
+	// ElasticTeam is anything the controller can resize; Runner and the
+	// sim twin's core.Runtime both implement it.
+	ElasticTeam = elastic.Team
+)
+
+// NewTelemetryBus builds a bus over nQueues queues and maxThreads thread
+// slots (size it for the elastic budget, not the initial team).
+func NewTelemetryBus(nQueues, maxThreads int) *TelemetryBus {
+	return telemetry.NewBus(nQueues, maxThreads)
+}
+
+// DefaultElasticConfig returns the shipped controller tuning for a team
+// bounded by [minThreads, budget].
+func DefaultElasticConfig(minThreads, budget int) ElasticConfig {
+	return elastic.DefaultConfig(minThreads, budget)
+}
+
+// NewElasticController builds a controller driving team from the telemetry
+// published on bus.
+func NewElasticController(bus *TelemetryBus, team ElasticTeam, cfg ElasticConfig) *ElasticController {
+	return elastic.New(bus, team, cfg)
+}
 
 // --- analytical model ---------------------------------------------------------
 
@@ -201,6 +255,12 @@ type (
 	PoissonTraffic = traffic.Poisson
 	// RampTraffic is the MoonGen up-down sweep of the adaptation test.
 	RampTraffic = traffic.Ramp
+	// SineTraffic is the diurnal day/night load curve of the elastic
+	// experiments (rate Base + Amp*sin(2*pi*t/Period), floored at 0).
+	SineTraffic = traffic.Sine
+	// StepTraffic switches between two arrival processes at a fixed time
+	// — flash-crowd edges and hot-queue migrations; Steps nest.
+	StepTraffic = traffic.Step
 )
 
 // LineRate64B converts Gbit/s to 64-byte-frame packets/second (10 Gbit/s
@@ -221,6 +281,40 @@ func Simulate(cfg SimConfig, arrivals []Traffic, duration time.Duration) SimMetr
 	d := duration.Seconds()
 	eng.RunUntil(d)
 	return rt.Snapshot(d)
+}
+
+// SimulateElastic is Simulate with the elastic control plane attached: a
+// telemetry bus wired into the deployment, a controller resizing the
+// thread team every control period (driven by engine events, so runs stay
+// deterministic per seed), and the controller's provisioning report
+// alongside the metrics. cfg.M is the starting team; ecfg bounds it.
+func SimulateElastic(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, duration time.Duration) (SimMetrics, ElasticReport) {
+	eng := sim.New()
+	root := xrand.New(cfg.Seed)
+	queues := make([]*nic.Queue, len(arrivals))
+	for i, p := range arrivals {
+		queues[i] = nic.NewQueue(i, p, root.Split(), nic.DefaultOptions())
+	}
+	budget := cfg.M
+	if ecfg.Budget > budget {
+		budget = ecfg.Budget
+	}
+	cfg.Bus = telemetry.NewBus(len(arrivals), budget)
+	rt := core.New(eng, queues, cfg)
+	rt.Start()
+	if ecfg.MinThreads == 0 {
+		ecfg.MinThreads = len(arrivals)
+	}
+	ctrl := elastic.New(cfg.Bus, rt, ecfg)
+	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })
+	d := duration.Seconds()
+	eng.RunUntil(d)
+	rep := ctrl.Report(d)
+	rep.ThreadSeconds = rt.ProvisionedThreadSeconds(d)
+	if d > 0 {
+		rep.MeanThreads = rep.ThreadSeconds / d
+	}
+	return rt.Snapshot(d), rep
 }
 
 // --- experiments ---------------------------------------------------------------

@@ -141,3 +141,38 @@ func TestBaselineComparisonViaSim(t *testing.T) {
 		t.Errorf("CPU not load-proportional: %v", cpus)
 	}
 }
+
+// TestPublicElasticAPI drives the elastic control plane end to end through
+// the facade: a flash crowd must grow the team within budget, shrink back
+// after, and identical runs must be identical (resizes ride engine events).
+func TestPublicElasticAPI(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 2
+	cfg.Seed = 5
+	crowd := metronome.StepTraffic{At: 0.05, Before: metronome.CBR{PPS: 1e6},
+		After: metronome.StepTraffic{At: 0.15, Before: metronome.CBR{PPS: 12e6},
+			After: metronome.CBR{PPS: 1e6}}}
+	run := func() (metronome.SimMetrics, metronome.ElasticReport) {
+		ecfg := metronome.DefaultElasticConfig(2, 8)
+		ecfg.TargetOccupancy = 0.05
+		return metronome.SimulateElastic(cfg, ecfg, []metronome.Traffic{crowd}, 250*time.Millisecond)
+	}
+	m1, r1 := run()
+	if r1.MaxThreads <= 2 {
+		t.Fatalf("controller never grew the team: %+v", r1)
+	}
+	if r1.MaxThreads > 8 {
+		t.Fatalf("budget exceeded: %+v", r1)
+	}
+	if r1.Resizes == 0 || r1.ThreadSeconds <= 0 {
+		t.Fatalf("empty report: %+v", r1)
+	}
+	if r1.ThreadSeconds >= 8*0.25 {
+		t.Fatalf("elastic provisioned like static-8: %v thread-seconds", r1.ThreadSeconds)
+	}
+	m2, r2 := run()
+	if m1.Cycles != m2.Cycles || m1.RxPackets != m2.RxPackets || r1.Resizes != r2.Resizes ||
+		r1.ThreadSeconds != r2.ThreadSeconds {
+		t.Fatalf("elastic runs diverged:\n%+v %+v\n%+v %+v", m1, r1, m2, r2)
+	}
+}
