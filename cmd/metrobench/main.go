@@ -21,14 +21,16 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
-		list     = flag.Bool("list", false, "list available experiments")
-		quick    = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
-		seed     = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
-		policy   = flag.String("policy", "", "re-run deployments under this scheduling discipline: "+strings.Join(sched.Names(), "|"))
-		elastic  = flag.Bool("elastic", false, "attach the elastic control plane (default tuning, 2M budget) to deployments on the common single-queue path")
-		parallel = flag.Int("parallel", 0, "simulations to run concurrently per sweep (0 = GOMAXPROCS); output is identical at any setting")
-		doc      = flag.Bool("doc", false, "print the EXPERIMENTS.md paper-vs-measured skeleton and exit")
+		run       = flag.String("run", "", "experiment ID (tab1, fig10, ...) or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		quick     = flag.Bool("quick", false, "shrink durations ~10x for a smoke run")
+		seed      = flag.Uint64("seed", 42, "experiment seed (runs are deterministic per seed)")
+		policy    = flag.String("policy", "", "re-run deployments under this scheduling discipline: "+strings.Join(sched.Names(), "|"))
+		elastic   = flag.Bool("elastic", false, "attach the elastic control plane (default tuning, 2M budget) to deployments on the common single-queue path")
+		placement = flag.Bool("placement", false, "upgrade -elastic to the placement plane (per-queue apportionment + slope feedforward) on the common single-queue path; implies -elastic")
+		capacity  = flag.Int64("cap", 0, "override the Rx descriptor-ring capacity for deployments on the common single-queue path that do not pin their own (0 = nic default 576)")
+		parallel  = flag.Int("parallel", 0, "simulations to run concurrently per sweep (0 = GOMAXPROCS); output is identical at any setting")
+		doc       = flag.Bool("doc", false, "print the EXPERIMENTS.md paper-vs-measured skeleton and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +45,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *placement {
+		// Per-queue apportionment only lands for placement-capable
+		// policies; every other deployment degrades to the scalar size
+		// law plus the slope feedforward. Say so instead of letting the
+		// flag silently under-deliver (metrosim rejects the combination
+		// outright; the sweep harness keeps running because experiments
+		// pin their own policies per arm).
+		fmt.Fprintln(os.Stderr, "metrobench: note: -placement engages per-queue apportionment only where the deployment's policy can place (rmetronome|worksteal); other deployments run the scalar size law with the slope feedforward")
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -56,7 +67,11 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Policy: *policy, Elastic: *elastic, Parallel: *parallel}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Policy: *policy,
+		Elastic: *elastic, Placement: *placement, RingCap: *capacity,
+		Parallel: *parallel,
+	}
 	if *run == "all" {
 		for _, e := range experiments.All() {
 			fmt.Printf("--- %s: %s ---\n", e.ID, e.Title)

@@ -32,6 +32,7 @@ func main() {
 		vbar     = flag.Duration("vbar", 10*time.Microsecond, "target vacation period")
 		tl       = flag.Duration("tl", 500*time.Microsecond, "backup (long) timeout")
 		mu       = flag.Float64("mu", 29.76, "service rate, Mpps (l3fwd=29.76, ipsec=5.61, flowatcher=28)")
+		capacity = flag.Int64("cap", 0, "Rx descriptor-ring capacity per queue (0 = nic default 576; the elastic occupancy target is a fraction of this)")
 		d        = flag.Duration("dur", time.Second, "virtual duration to simulate")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		policy   = flag.String("policy", "", "scheduling discipline: "+strings.Join(sched.Names(), "|")+" (default adaptive)")
@@ -45,6 +46,8 @@ func main() {
 		elasticBudget = flag.Int("elastic-budget", 0, "elastic core budget / team ceiling (default: 2*m)")
 		elasticPeriod = flag.Duration("elastic-period", time.Millisecond, "elastic control period")
 		elasticOcc    = flag.Float64("elastic-occ", 0.10, "elastic wake-time occupancy target (fraction of ring capacity)")
+		placement     = flag.Bool("placement", false, "upgrade -elastic to the placement plane: apportion members per queue by wake-occupancy share (requires -elastic)")
+		slopeGain     = flag.Float64("slope-gain", 0, "elastic occupancy-slope feedforward lookahead, in control periods (0 = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,7 @@ func main() {
 	cfg.VBar = vbar.Seconds()
 	cfg.TL = tl.Seconds()
 	cfg.Mu = *mu * 1e6
+	cfg.RingCap = *capacity
 	cfg.Seed = *seed
 	if *fixed > 0 {
 		cfg.Adaptive = false
@@ -75,6 +79,21 @@ func main() {
 	if *queues < 1 || *m < *queues {
 		fmt.Fprintln(os.Stderr, "metrosim: need queues >= 1 and m >= queues")
 		os.Exit(1)
+	}
+	if *placement && !*elastic {
+		fmt.Fprintln(os.Stderr, "metrosim: -placement requires -elastic")
+		os.Exit(1)
+	}
+	if *placement {
+		// Plans only land per queue when the discipline binds placeable
+		// groups; against a roaming policy the controller would silently
+		// run the scalar law, so reject the combination outright.
+		probe := sched.MustNew(core.PolicyName(cfg), sched.Config{M: *m, N: *queues})
+		if _, ok := probe.(sched.Rebalancer); !ok {
+			fmt.Fprintf(os.Stderr, "metrosim: -placement needs a placement-capable policy (rmetronome|worksteal), not %q\n",
+				core.PolicyName(cfg))
+			os.Exit(1)
+		}
 	}
 	arrivals := make([]metronome.Traffic, *queues)
 	for i := range arrivals {
@@ -104,14 +123,23 @@ func main() {
 		}
 		ecfg.Period = elasticPeriod.Seconds()
 		ecfg.TargetOccupancy = *elasticOcc
+		ecfg.Placement = *placement
+		ecfg.SlopeGain = *slopeGain
 		met, rep := metronome.SimulateElastic(cfg, ecfg, arrivals, *d)
-		fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v, policy %s, elastic %d..%d\n",
-			pps/1e6, *queues, *d, core.PolicyName(cfg), ecfg.MinThreads, ecfg.Budget)
+		mode := "elastic"
+		if *placement {
+			mode = "placement-elastic"
+		}
+		fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v, policy %s, %s %d..%d\n",
+			pps/1e6, *queues, *d, core.PolicyName(cfg), mode, ecfg.MinThreads, ecfg.Budget)
 		fmt.Printf("throughput:     %.2f Mpps   loss: %.4f permille\n", met.ThroughputPPS/1e6, met.LossRate*1000)
 		fmt.Printf("cpu:            %.1f%% total\n", met.CPUPercent)
 		fmt.Printf("vacation:       mean %.2f us (target %v)\n", met.MeanVacation*1e6, *vbar)
 		fmt.Printf("team:           %.2f mean threads (%d..%d seen), %d resizes, %.1f thread-ms provisioned, final M=%d\n",
 			rep.MeanThreads, rep.MinThreads, rep.MaxThreads, rep.Resizes, rep.ThreadSeconds*1e3, rep.Final)
+		if rep.FinalPlan != nil {
+			fmt.Printf("placement:      %d rebalances, final plan %v\n", rep.Rebalances, rep.FinalPlan)
+		}
 		fmt.Printf("busy tries:     %.1f%% of %d lock attempts, %d cycles\n",
 			met.BusyTryFrac*100, met.Tries, met.Cycles)
 		return

@@ -87,6 +87,14 @@ type Config struct {
 	// work-stealing discipline reads occupancy from it. Nil keeps the hot
 	// path free of even the publishing branches' stores.
 	Bus *telemetry.Bus
+	// RingCap overrides the Rx descriptor-ring capacity of every queue the
+	// deployment *builders* construct (the facade's Simulate/
+	// SimulateElastic and the experiment harness; zero keeps each builder's
+	// default). core.New itself receives already-built queues and ignores
+	// it — the field rides on Config so one knob (metrosim -cap) reaches
+	// every construction site. The elastic occupancy target is a fraction
+	// of this capacity, so a smaller ring makes the target finer-grained.
+	RingCap int64
 	// Dephase enables turn-aware wake de-phasing in the shared-queue
 	// disciplines (see sched.Dephaser).
 	Dephase bool
@@ -181,11 +189,16 @@ type Runtime struct {
 	// threads[active:] are retired or parked. started flips at Start so a
 	// pre-start resize only relabels the team (Start owns first arming).
 	// The provisioned integral ∫M(t)dt backs the thread-seconds metric of
-	// the elastic experiments.
-	active      int
-	started     bool
-	provisioned float64
-	provAt      float64
+	// the elastic experiments; placement holds the per-queue member counts
+	// the current plan provisions (group sizes when the policy binds
+	// groups, the balanced split otherwise) and provisionedQ the per-queue
+	// ∫r_q(t)dt split of the same integral.
+	active       int
+	started      bool
+	provisioned  float64
+	provAt       float64
+	placement    []int
+	provisionedQ []float64
 
 	locked      []bool
 	lastRelease []float64
@@ -204,6 +217,13 @@ type Runtime struct {
 	// group is observable.
 	CyclesQ        []int64
 	CyclesByThread []int64
+
+	// Reusable Snapshot buffers: sampling metrics mid-run at high
+	// frequency must not allocate per sample, so the slices a Metrics
+	// carries live here and are overwritten by the next Snapshot call.
+	snapCyclesQ []int64
+	snapFloats  []float64 // one backing array: RhoEst then TSNow
+	snapLat     stats.Sample
 }
 
 // New builds a runtime over queues; the engine clock must be at zero.
@@ -221,23 +241,32 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 	if cfg.FreqScale <= 0 {
 		cfg.FreqScale = 1
 	}
+	n := len(queues)
+	// One backing array per element type for the per-queue state: the
+	// slices are independent views, the allocator sees three makes instead
+	// of seven (the alloc gate in BENCH_simulate.json counts them).
+	qcounts := make([]int64, 3*n)
+	qfloats := make([]float64, 2*n)
 	r := &Runtime{
 		Cfg:            cfg,
 		Eng:            eng,
 		Queues:         queues,
 		Acct:           cpu.NewAccounting(cfg.M),
 		policy:         sched.MustNew(PolicyName(cfg), policyConfig(cfg, len(queues))),
-		locked:         make([]bool, len(queues)),
-		lastRelease:    make([]float64, len(queues)),
-		TriesQ:         make([]int64, len(queues)),
-		BusyTriesQ:     make([]int64, len(queues)),
-		CyclesQ:        make([]int64, len(queues)),
+		locked:         make([]bool, n),
+		lastRelease:    qfloats[0:n:n],
+		provisionedQ:   qfloats[n : 2*n : 2*n],
+		TriesQ:         qcounts[0:n:n],
+		BusyTriesQ:     qcounts[n : 2*n : 2*n],
+		CyclesQ:        qcounts[2*n : 3*n : 3*n],
 		CyclesByThread: make([]int64, cfg.M),
 	}
 	r.group, _ = r.policy.(sched.GroupPolicy)
 	r.dephase, _ = r.policy.(sched.Dephaser)
 	r.bus = cfg.Bus
 	r.active = cfg.M
+	r.placement = make([]int, len(queues))
+	r.refreshPlacement()
 	if r.bus != nil {
 		for q, queue := range queues {
 			r.bus.SetCapacity(q, float64(queue.Opt.Cap))
@@ -353,41 +382,70 @@ func (r *Runtime) TeamSize() int { return r.active }
 func (r *Runtime) ThreadCount() int { return len(r.threads) }
 
 // SetTeamSize grows or shrinks the thread team to m mid-run — the sim
-// substrate of the elastic control plane. It returns the applied size: m
-// is clamped to at least one thread per queue (Sec. IV-E: every queue
-// deserves a primary available).
-//
-// Growth first un-parks retired threads (each re-enters through a fresh
-// de-phased wake event) and then creates new ones; their RNG streams
-// derive from the deployment coordinates, not from creation order, so a
-// thread added at t=0.3s is the same thread it would have been at t=0.7s.
-// Retirement marks the highest-id threads: each finishes any in-flight
-// cycle, lets its pending timer fire once, and parks. Everything flows
-// through ordinary engine events, so a resizing run stays deterministic at
-// any experiment-harness parallelism. The policy is notified through
-// sched.Resizable so eq. (14) / r = M/N group layouts recompute online.
+// substrate of the elastic control plane's scalar path, retained as the
+// degenerate *balanced* placement plan: m members spread m/N per queue.
+// It returns the applied size: m is clamped to at least one thread per
+// queue (Sec. IV-E: every queue deserves a primary available).
 func (r *Runtime) SetTeamSize(m int) int {
 	if m < len(r.Queues) {
 		m = len(r.Queues)
 	}
-	if m == r.active {
+	balanced := sched.BalancedPlacement(m, len(r.Queues))
+	if m == r.active && sched.PlacementEqual(r.placement, balanced) {
 		return r.active
 	}
-	now := r.Eng.Now()
-	r.provisioned += float64(r.active) * (now - r.provAt)
-	r.provAt = now
-	for len(r.threads) < m {
+	return r.ApplyPlacement(balanced)
+}
+
+// CanPlace reports whether ApplyPlacement plans actually land per queue:
+// true only when the discipline binds placeable groups (sched.Rebalancer).
+// Roaming disciplines accept plans but degrade them to the total.
+func (r *Runtime) CanPlace() bool {
+	_, ok := r.policy.(sched.Rebalancer)
+	return ok
+}
+
+// ApplyPlacement adopts a full placement plan mid-run — the sim substrate
+// of the placement plane. perQueue[q] members are provisioned for queue q
+// (entries clamped to >= 1); the team total becomes their sum and the
+// applied total is returned.
+//
+// Growth first un-parks retired threads (each re-enters through a fresh
+// de-phased wake event on its possibly new home) and then creates new
+// ones; their RNG streams derive from the deployment coordinates, not from
+// creation order, so a thread added at t=0.3s is the same thread it would
+// have been at t=0.7s. Retirement marks the highest-id threads: each
+// finishes any in-flight cycle, lets its pending timer fire once, and
+// parks. Active threads whose home queue moved migrate through ordinary
+// engine events — each finishes its current cycle and re-arms on its new
+// home via the existing GroupPolicy.HomeQueue return path — so a
+// rebalancing run stays deterministic at any experiment-harness
+// parallelism. The policy adopts the plan through sched.Rebalancer when it
+// can place (rmetronome/worksteal swap a complete home/rank/size layout
+// and republish eq. (13) per group) and through sched.Resizable otherwise;
+// per-queue provisioning integrals ∫r_q(t)dt accrue at the old plan up to
+// now and at the new plan afterwards.
+func (r *Runtime) ApplyPlacement(perQueue []int) int {
+	sizes, total := sched.NormalizePlacement(perQueue, len(r.Queues))
+	if total == r.active && sched.PlacementEqual(r.placement, sizes) {
+		return r.active
+	}
+	r.accrueProvisioned(r.Eng.Now())
+	for len(r.threads) < total {
 		// Freshly created threads start parked: the activation loop below
 		// un-parks them exactly like threads retired in an earlier epoch.
 		th := r.addThread(nil)
 		th.retired, th.parked = true, true
 	}
-	if rz, ok := r.policy.(sched.Resizable); ok {
-		rz.SetTeamSize(m)
+	switch p := r.policy.(type) {
+	case sched.Rebalancer:
+		p.SetPlacement(sizes)
+	case sched.Resizable:
+		p.SetTeamSize(total)
 	}
 	for i, th := range r.threads {
 		wasParked := th.parked
-		th.retired = i >= m
+		th.retired = i >= total
 		if !th.retired && wasParked && r.started {
 			r.unpark(th)
 		}
@@ -395,8 +453,37 @@ func (r *Runtime) SetTeamSize(m int) int {
 		// a freshly retired one parks when that timer next fires. Before
 		// Start, nothing is armed here: Start arms whoever is active then.
 	}
-	r.active = m
+	r.active = total
+	r.refreshPlacement()
 	return r.active
+}
+
+// refreshPlacement records what the discipline actually holds per queue:
+// the group sizes when the policy binds service groups, the balanced
+// split otherwise (non-group disciplines let threads roam, so balance is
+// the honest provisioning statement).
+func (r *Runtime) refreshPlacement() {
+	if g, ok := r.policy.(sched.Rebalancer); ok {
+		copy(r.placement, g.Placement())
+		return
+	}
+	for q := range r.placement {
+		r.placement[q] = 0
+	}
+	for i := 0; i < r.active; i++ {
+		r.placement[i%len(r.placement)]++
+	}
+}
+
+// accrueProvisioned folds the elapsed window into the total and per-queue
+// provisioning integrals at the *current* plan.
+func (r *Runtime) accrueProvisioned(now float64) {
+	dt := now - r.provAt
+	r.provisioned += float64(r.active) * dt
+	for q := range r.provisionedQ {
+		r.provisionedQ[q] += float64(r.placement[q]) * dt
+	}
+	r.provAt = now
 }
 
 // unpark re-enters a parked thread: home it (group layouts may have moved
@@ -425,9 +512,33 @@ func (r *Runtime) ProvisionedThreadSeconds(now float64) float64 {
 	return r.provisioned + float64(r.active)*(now-r.provAt)
 }
 
-// ResetProvisioned restarts the provisioned-thread-seconds integral at now.
+// ProvisionedThreadSecondsQ integrates each queue's provisioned member
+// count over virtual time up to now: the per-queue ∫r_q(t)dt split of
+// ProvisionedThreadSeconds, which is what the placement experiments charge
+// a plan for attending each queue. The returned slice is freshly
+// allocated.
+func (r *Runtime) ProvisionedThreadSecondsQ(now float64) []float64 {
+	out := make([]float64, len(r.provisionedQ))
+	dt := now - r.provAt
+	for q := range out {
+		out[q] = r.provisionedQ[q] + float64(r.placement[q])*dt
+	}
+	return out
+}
+
+// Placement returns the per-queue member counts the current plan
+// provisions (a copy).
+func (r *Runtime) Placement() []int {
+	return append([]int(nil), r.placement...)
+}
+
+// ResetProvisioned restarts the provisioned-thread-seconds integrals at
+// now.
 func (r *Runtime) ResetProvisioned(now float64) {
 	r.provisioned = 0
+	for q := range r.provisionedQ {
+		r.provisionedQ[q] = 0
+	}
 	r.provAt = now
 }
 
@@ -658,7 +769,21 @@ type Metrics struct {
 
 // Snapshot computes run metrics over the window [0, wall] (callers reset
 // queue stats after warm-up to window-align them).
+//
+// The slices the returned Metrics carries (CyclesQ, RhoEst, TSNow) and its
+// latency summary are built in buffers the Runtime reuses across calls, so
+// sampling metrics mid-run at high frequency allocates nothing once the
+// buffers are warm. They are valid until the next Snapshot on the same
+// Runtime; a caller that retains a Metrics across snapshots must copy
+// them.
 func (r *Runtime) Snapshot(wall float64) Metrics {
+	n := len(r.Queues)
+	if cap(r.snapCyclesQ) < n {
+		r.snapCyclesQ = make([]int64, n)
+	}
+	if cap(r.snapFloats) < 2*n {
+		r.snapFloats = make([]float64, 2*n)
+	}
 	m := Metrics{
 		Wall:        wall,
 		CPUPercent:  r.Acct.UsagePercent(wall),
@@ -666,10 +791,13 @@ func (r *Runtime) Snapshot(wall float64) Metrics {
 		Tries:       r.Tries.Value,
 		BusyTryFrac: r.BusyTryFraction(),
 		Cycles:      r.Cycles.Value,
-		CyclesQ:     append([]int64(nil), r.CyclesQ...),
+		CyclesQ:     r.snapCyclesQ[:n],
+		RhoEst:      r.snapFloats[:0:n],
+		TSNow:       r.snapFloats[n : n : 2*n],
 	}
+	copy(m.CyclesQ, r.CyclesQ)
 	var vac, busy, nv stats.Welford
-	var lat stats.Sample
+	r.snapLat.Reset()
 	for q, queue := range r.Queues {
 		m.RxPackets += queue.RxPackets
 		m.Served += queue.Served
@@ -677,7 +805,7 @@ func (r *Runtime) Snapshot(wall float64) Metrics {
 		vac.Merge(&queue.VacObs)
 		busy.Merge(&queue.BusyObs)
 		nv.Merge(&queue.NVObs)
-		lat.Merge(&queue.Lat)
+		r.snapLat.Merge(&queue.Lat)
 		m.RhoEst = append(m.RhoEst, r.Rho(q))
 		m.TSNow = append(m.TSNow, r.TS(q))
 	}
@@ -688,8 +816,8 @@ func (r *Runtime) Snapshot(wall float64) Metrics {
 	m.MeanVacation = vac.Mean()
 	m.MeanBusy = busy.Mean()
 	m.MeanNV = nv.Mean()
-	m.Latency = lat.Box()
-	m.LatencyStd = lat.Std()
+	m.Latency = r.snapLat.Box()
+	m.LatencyStd = r.snapLat.Std()
 	if wall > 0 {
 		m.ThroughputPPS = float64(m.Served) / wall
 	}

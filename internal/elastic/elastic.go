@@ -25,6 +25,7 @@ import (
 	"math"
 	"time"
 
+	"metronome/internal/sched"
 	"metronome/internal/telemetry"
 )
 
@@ -34,8 +35,43 @@ type Team interface {
 	// TeamSize returns the current team size.
 	TeamSize() int
 	// SetTeamSize requests a new team size and returns the applied one
-	// (substrates clamp to at least one thread per queue).
+	// (substrates clamp to at least one thread per queue). It is the
+	// degenerate balanced plan: SetTeamSize(m) places m/N members on every
+	// queue via ApplyPlacement on substrates that support placement.
 	SetTeamSize(m int) int
+}
+
+// Plan is the controller's actuation output: a total team size and its
+// per-queue apportionment. PerQueue sums to Total; a nil PerQueue is the
+// balanced plan (what SetTeamSize applies).
+type Plan struct {
+	Total    int
+	PerQueue []int
+}
+
+// Actuator is a Team that can adopt a full placement plan — per-queue
+// member counts instead of a bare integer. Both execution substrates
+// implement it (core.Runtime re-homes simulated threads through ordinary
+// engine events; runtime.Runner re-homes live members through the group
+// machinery without dropping claimed turns). The controller's placement
+// law emits Plans through this interface when Config.Placement is set and
+// falls back to the scalar SetTeamSize otherwise.
+type Actuator interface {
+	Team
+	// ApplyPlacement adopts perQueue[q] members homed on queue q (entries
+	// clamped to >= 1) and returns the applied team total.
+	ApplyPlacement(perQueue []int) int
+	// CanPlace reports whether plans actually land per queue: substrates
+	// return true only when the scheduling discipline binds placeable
+	// groups (sched.Rebalancer). A substrate whose policy lets threads
+	// roam accepts ApplyPlacement but degrades it to the total, and the
+	// controller must not report phantom migrations against it.
+	CanPlace() bool
+	// Placement returns the per-queue member counts currently in effect
+	// (a copy). The controller seeds its rebalance baseline from it, so a
+	// team that was hand-placed before the controller attached is
+	// corrected rather than assumed balanced.
+	Placement() []int
 }
 
 // Config tunes the control plane. The zero value is unusable; start from
@@ -70,6 +106,28 @@ type Config struct {
 	// (default 16 periods). Growth is never throttled: under-provisioning
 	// loses packets, over-provisioning only burns budget.
 	Cooldown float64
+	// Placement enables the per-queue placement law: besides moving the
+	// scalar team size, the controller apportions members across queues by
+	// wake-occupancy share and actuates full plans through Actuator (when
+	// the team implements it — otherwise it degrades to SetTeamSize). A
+	// placement-only move (total unchanged, members migrating between
+	// groups) is rate-limited by Cooldown like a shrink: it costs no
+	// budget, but flapping members between groups costs re-homing churn.
+	Placement bool
+	// SlopeGain is the feedforward lookahead of the size law, in control
+	// periods (default 0 = off): the worst queue's EWMA occupancy slope
+	// times SlopeGain periods is added to the *proportional* error, so a
+	// rising Sine/Ramp edge pre-provisions before the ring ever fills.
+	// Only the feedback error feeds the integral — feedforward cannot wind
+	// it up, so a crested ramp unwinds at the plain PI rate.
+	SlopeGain float64
+	// SlopeAlpha is the EWMA smoothing of the per-queue occupancy signals
+	// (default 0.25). It governs BOTH smoothed views of the sampled
+	// occupancy: the slope EWMA the feedforward reads (republished to the
+	// bus as occupancy-slope gauges) and the occupancy EWMA the placement
+	// law apportions by — one knob because both exist to filter the same
+	// point-in-time sampling noise at the same control cadence.
+	SlopeAlpha float64
 }
 
 // DefaultConfig returns the tuning the fig-elastic experiment ships:
@@ -115,6 +173,12 @@ func (c Config) normalized() Config {
 	if c.Cooldown <= 0 {
 		c.Cooldown = 16 * c.Period
 	}
+	if c.SlopeGain < 0 {
+		c.SlopeGain = 0
+	}
+	if c.SlopeAlpha <= 0 || c.SlopeAlpha > 1 {
+		c.SlopeAlpha = 0.25
+	}
 	return c
 }
 
@@ -122,12 +186,20 @@ func (c Config) normalized() Config {
 type Decision struct {
 	At        float64 // tick time
 	Occupancy float64 // worst-queue occupancy fraction sampled
+	Slope     float64 // worst-queue EWMA occupancy slope (fraction/s)
 	LossDelta uint64  // packets dropped since the previous tick
-	Err       float64 // combined PI error
-	Raw       float64 // un-rounded PI output in threads
+	Err       float64 // combined feedback error (occupancy + loss)
+	Feedfwd   float64 // feedforward term added to the proportional path
+	Raw       float64 // un-rounded size-law output in threads
 	Want      int     // rounded, clamped target
 	Applied   int     // team size after the tick
 	Resized   bool    // whether a resize was applied
+	// Plan is the per-queue placement applied this tick (nil when the tick
+	// actuated nothing, or actuated through the scalar SetTeamSize path).
+	Plan []int
+	// Rebalanced marks a placement-only move: members migrated between
+	// queues with the team total unchanged.
+	Rebalanced bool
 }
 
 // Controller drives one Team from one Bus.
@@ -135,20 +207,29 @@ type Controller struct {
 	cfg  Config
 	bus  *telemetry.Bus
 	team Team
+	act  Actuator // non-nil when Placement is on and team supports plans
 
-	integ      float64 // integral state, in threads above MinThreads
-	lastTick   float64
-	lastShrink float64
-	started    bool
+	integ         float64 // integral state, in threads above MinThreads
+	lastTick      float64
+	lastShrink    float64
+	lastRebalance float64
+	started       bool
 
 	snap      telemetry.Snapshot
 	prevDrops []uint64
 	prevRx    []uint64
+	prevOccF  []float64 // previous tick's per-queue occupancy fractions
+	occEW     []float64 // EWMA per-queue occupancy fraction (placement law)
+	slopes    []float64 // EWMA per-queue occupancy slope (fraction/s)
+	lastPlan  []int     // placement last applied (placement mode only)
+	planBuf   []int     // scratch for the apportionment law
+	remBuf    []float64 // scratch for largest-remainder apportionment
 
 	// Window stats backing Report.
 	statsFrom     float64
 	threadSeconds float64
 	resizes       int
+	rebalances    int
 	minSeen       int
 	maxSeen       int
 	last          Decision
@@ -174,6 +255,23 @@ func New(bus *telemetry.Bus, team Team, cfg Config) *Controller {
 	c.minSeen, c.maxSeen = m, m
 	c.prevDrops = make([]uint64, bus.Queues())
 	c.prevRx = make([]uint64, bus.Queues())
+	c.prevOccF = make([]float64, bus.Queues())
+	c.occEW = make([]float64, bus.Queues())
+	c.slopes = make([]float64, bus.Queues())
+	if c.cfg.Placement {
+		// The placement law engages only when plans actually land per
+		// queue: a substrate whose policy cannot place (no
+		// sched.Rebalancer) degrades ApplyPlacement to the total, and
+		// reporting plans/rebalances against it would be fiction.
+		if act, ok := team.(Actuator); ok && act.CanPlace() {
+			c.act = act
+			// Baseline from the placement actually in effect — a team
+			// that was hand-placed before the controller attached must
+			// be rebalanced away from, not assumed balanced.
+			c.lastPlan = append([]int(nil), act.Placement()...)
+			c.planBuf = make([]int, bus.Queues())
+		}
+	}
 	return c
 }
 
@@ -181,7 +279,11 @@ func New(bus *telemetry.Bus, team Team, cfg Config) *Controller {
 func (c *Controller) Config() Config { return c.cfg }
 
 // Tick runs one control period ending at now: sample the bus, update the
-// PI state, and resize the team when the output leaves the deadband.
+// size law's PI state (plus the slope feedforward), and actuate — a full
+// placement plan when the placement law is on, the scalar team size
+// otherwise — when the output leaves the deadband. With the placement law
+// on, a tick that moves no total can still migrate members between queues
+// (a rebalance), rate-limited by the cooldown.
 func (c *Controller) Tick(now float64) Decision {
 	cur := c.team.TeamSize()
 	if !c.started {
@@ -191,20 +293,41 @@ func (c *Controller) Tick(now float64) Decision {
 		c.bus.Sample(&c.snap)
 		copy(c.prevDrops, c.snap.Drops)
 		copy(c.prevRx, c.snap.Rx)
+		for q := 0; q < c.bus.Queues(); q++ {
+			c.prevOccF[q] = c.occFraction(q)
+		}
 		c.last = Decision{At: now, Want: cur, Applied: cur}
 		return c.last
 	}
-	c.threadSeconds += float64(cur) * (now - c.lastTick)
+	dt := now - c.lastTick
+	c.threadSeconds += float64(cur) * dt
 	c.lastTick = now
 
 	c.bus.Sample(&c.snap)
-	occ := 0.0
+	occ, slope := 0.0, 0.0
 	for q := 0; q < c.bus.Queues(); q++ {
-		if cp := c.snap.Cap[q]; cp > 0 {
-			if f := c.snap.Occ[q] / cp; f > occ {
-				occ = f
-			}
+		f := c.occFraction(q)
+		if f > occ {
+			occ = f
 		}
+		// The published occupancy is a point-in-time gauge (N_V at a wake,
+		// zero right after a release), so a single sample is aliasing
+		// noise. The placement law apportions by this EWMA instead — the
+		// time-averaged wake occupancy is the demand a queue actually
+		// exerts.
+		c.occEW[q] += c.cfg.SlopeAlpha * (f - c.occEW[q])
+		if dt > 0 {
+			// Per-queue occupancy slope, EWMA-smoothed and republished to
+			// the bus as a gauge: the feedforward's input and the
+			// observability signal behind the fig-placement panels.
+			s := (f - c.prevOccF[q]) / dt
+			c.slopes[q] += c.cfg.SlopeAlpha * (s - c.slopes[q])
+			c.bus.SetOccSlope(q, c.slopes[q])
+		}
+		if c.slopes[q] > slope {
+			slope = c.slopes[q]
+		}
+		c.prevOccF[q] = f
 	}
 	var lossDelta uint64
 	for q := 0; q < c.bus.Queues(); q++ {
@@ -221,25 +344,47 @@ func (c *Controller) Tick(now float64) Decision {
 	if lossDelta > 0 {
 		e += c.cfg.LossGain
 	}
+	// Feedforward: the predicted occupancy rise over the lookahead window
+	// (SlopeGain control periods), normalised like the proportional error.
+	// Only rising edges feed forward — a falling edge just lets the PI
+	// unwind — and only the proportional path sees it, so feedforward can
+	// pre-provision but never wind the integral up.
+	ff := 0.0
+	if c.cfg.SlopeGain > 0 && slope > 0 {
+		ff = slope * c.cfg.SlopeGain * c.cfg.Period / c.cfg.TargetOccupancy
+	}
 	c.integ += c.cfg.Ki * e
 	c.integ = clamp(c.integ, 0, float64(c.cfg.Budget-c.cfg.MinThreads))
-	raw := float64(c.cfg.MinThreads) + c.cfg.Kp*e + c.integ
+	raw := float64(c.cfg.MinThreads) + c.cfg.Kp*(e+ff) + c.integ
 	want := int(math.Round(clamp(raw, float64(c.cfg.MinThreads), float64(c.cfg.Budget))))
 
 	d := Decision{
-		At: now, Occupancy: occ, LossDelta: lossDelta,
-		Err: e, Raw: raw, Want: want, Applied: cur,
+		At: now, Occupancy: occ, Slope: slope, LossDelta: lossDelta,
+		Err: e, Feedfwd: ff, Raw: raw, Want: want, Applied: cur,
 	}
 	switch {
 	case want > cur && raw > float64(cur)+0.5+c.cfg.Hysteresis:
-		d.Applied = c.team.SetTeamSize(want)
+		d.Applied = c.actuate(want, &d)
 		d.Resized = d.Applied != cur
 	case want < cur && raw < float64(cur)-0.5-c.cfg.Hysteresis &&
 		now-c.lastShrink >= c.cfg.Cooldown:
-		d.Applied = c.team.SetTeamSize(want)
+		d.Applied = c.actuate(want, &d)
 		d.Resized = d.Applied != cur
 		if d.Resized {
 			c.lastShrink = now
+		}
+	default:
+		// No size move. The placement law may still migrate members to
+		// chase a demand shift — a hot flow moving queues changes where
+		// threads should sit without changing how many are needed.
+		if c.act != nil && now-c.lastRebalance >= c.cfg.Cooldown {
+			plan := c.apportion(cur)
+			if !sched.PlacementEqual(plan, c.lastPlan) {
+				d.Applied = c.applyPlan(plan, &d)
+				d.Rebalanced = true
+				c.rebalances++
+				c.lastRebalance = now
+			}
 		}
 	}
 	if d.Resized {
@@ -259,6 +404,109 @@ func (c *Controller) Tick(now float64) Decision {
 	return d
 }
 
+// occFraction reads queue q's sampled occupancy as a fraction of its ring
+// capacity (zero when the capacity was never published).
+func (c *Controller) occFraction(q int) float64 {
+	if cp := c.snap.Cap[q]; cp > 0 {
+		return c.snap.Occ[q] / cp
+	}
+	return 0
+}
+
+// actuate applies a new team total through the placement plane when the
+// placement law is on, or the scalar Team path otherwise.
+func (c *Controller) actuate(m int, d *Decision) int {
+	if c.act == nil {
+		return c.team.SetTeamSize(m)
+	}
+	applied := c.applyPlan(c.apportion(m), d)
+	c.lastRebalance = d.At // a resize republishes the whole placement
+	return applied
+}
+
+// applyPlan pushes one per-queue plan through the Actuator and records it.
+func (c *Controller) applyPlan(plan []int, d *Decision) int {
+	applied := c.act.ApplyPlacement(plan)
+	c.lastPlan = append(c.lastPlan[:0], plan...)
+	d.Plan = append([]int(nil), plan...)
+	return applied
+}
+
+// apportion is the placement law: split m members across the queues
+// proportionally to their sampled wake-occupancy fractions, every queue
+// keeping at least one member (Sec. IV-E), the remaining m-N going by
+// largest remainder (ties to the lower queue index). Like the
+// work-stealing backup ranking, a vanishing rho share breaks exact
+// occupancy ties so a drained-but-loaded queue outranks an idle one. The
+// plan is a pure function of the snapshot, so placement runs are
+// byte-identical at any experiment-harness parallelism. Zero demand
+// everywhere yields the balanced plan — with no signal, balance is the
+// least-regret assignment.
+func (c *Controller) apportion(m int) []int {
+	n := c.bus.Queues()
+	if m < n {
+		m = n
+	}
+	dst := c.planBuf
+	total := 0.0
+	for q := 0; q < n; q++ {
+		total += c.weight(q)
+	}
+	extra := m - n
+	if total <= 0 || extra == 0 {
+		for q := range dst {
+			dst[q] = 0
+		}
+		for i := 0; i < m; i++ {
+			dst[i%n]++
+		}
+		return dst
+	}
+	rem := c.remScratch()
+	assigned := 0
+	for q := 0; q < n; q++ {
+		share := c.weight(q) / total * float64(extra)
+		f := math.Floor(share)
+		dst[q] = 1 + int(f)
+		rem[q] = share - f
+		assigned += int(f)
+	}
+	for left := extra - assigned; left > 0; left-- {
+		best := 0
+		for q := 1; q < n; q++ {
+			if rem[q] > rem[best] {
+				best = q
+			}
+		}
+		dst[best]++
+		rem[best] = -1
+	}
+	return dst
+}
+
+// weight is queue q's placement demand: the EWMA wake-occupancy share
+// blended with a small rho term. Occupancy dominates whenever a ring is
+// actually backing up (it reaches 1.0 at overflow, the rho term tops out
+// at 0.05), but between spikes the published gauge is a 0-or-N_V point
+// sample whose EWMA still wanders; the eq. (11) estimate is smoothed over
+// whole service cycles and anchors the ordering — like the work-stealing
+// backup ranking, a drained-but-loaded queue outranks an idle one.
+func (c *Controller) weight(q int) float64 {
+	w := c.occEW[q] + 0.05*c.snap.Rho[q]
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// remScratch reuses the controller's float scratch for remainders.
+func (c *Controller) remScratch() []float64 {
+	if cap(c.remBuf) < c.bus.Queues() {
+		c.remBuf = make([]float64, c.bus.Queues())
+	}
+	return c.remBuf[:c.bus.Queues()]
+}
+
 // Report summarises the controller's window since construction or the last
 // ResetStats.
 type Report struct {
@@ -269,10 +517,17 @@ type Report struct {
 	MeanThreads float64
 	// Resizes counts applied team changes.
 	Resizes int
+	// Rebalances counts placement-only moves: members migrated between
+	// queues with the team total unchanged (always zero without the
+	// placement law).
+	Rebalances int
 	// MinThreads and MaxThreads are the extreme applied sizes seen.
 	MinThreads, MaxThreads int
 	// Final is the team size at report time.
 	Final int
+	// FinalPlan is the per-queue placement at report time (nil when the
+	// controller actuates through the scalar path).
+	FinalPlan []int
 }
 
 // Report closes the accounting window at now and summarises it.
@@ -287,14 +542,19 @@ func (c *Controller) Report(now float64) Report {
 	if wall > 0 {
 		mean = ts / wall
 	}
-	return Report{
+	rep := Report{
 		ThreadSeconds: ts,
 		MeanThreads:   mean,
 		Resizes:       c.resizes,
+		Rebalances:    c.rebalances,
 		MinThreads:    c.minSeen,
 		MaxThreads:    c.maxSeen,
 		Final:         cur,
 	}
+	if c.act != nil {
+		rep.FinalPlan = append([]int(nil), c.lastPlan...)
+	}
+	return rep
 }
 
 // ResetStats restarts the report window at now (warm-up alignment). The PI
@@ -303,7 +563,7 @@ func (c *Controller) ResetStats(now float64) {
 	cur := c.team.TeamSize()
 	c.statsFrom, c.lastTick = now, now
 	c.threadSeconds = 0
-	c.resizes = 0
+	c.resizes, c.rebalances = 0, 0
 	c.minSeen, c.maxSeen = cur, cur
 }
 

@@ -146,6 +146,254 @@ func TestCounterResetResyncsSilently(t *testing.T) {
 	}
 }
 
+// fakeActuator is a fakeTeam that also accepts placement plans, clamping
+// entries >= 1 like the substrates.
+type fakeActuator struct {
+	fakeTeam
+	plan       []int
+	placements int
+}
+
+func (f *fakeActuator) CanPlace() bool { return true }
+
+func (f *fakeActuator) Placement() []int {
+	if f.plan != nil {
+		return append([]int(nil), f.plan...)
+	}
+	// Balanced split over the two bus queues the rigs use.
+	return []int{(f.size + 1) / 2, f.size / 2}
+}
+
+func (f *fakeActuator) ApplyPlacement(perQueue []int) int {
+	total := 0
+	f.plan = make([]int, len(perQueue))
+	for q, s := range perQueue {
+		if s < 1 {
+			s = 1
+		}
+		f.plan[q] = s
+		total += s
+	}
+	f.size = total
+	f.placements++
+	return total
+}
+
+func newPlacementRig(minThreads, budget int) (*telemetry.Bus, *fakeActuator, *Controller) {
+	bus := telemetry.NewBus(2, budget)
+	bus.SetCapacity(0, 4096)
+	bus.SetCapacity(1, 4096)
+	team := &fakeActuator{fakeTeam: fakeTeam{size: minThreads, floor: 2}}
+	cfg := DefaultConfig(minThreads, budget)
+	cfg.Placement = true
+	return bus, team, New(bus, team, cfg)
+}
+
+// The placement law must apportion members toward the queue whose EWMA
+// wake occupancy carries the demand, through the Actuator.
+func TestPlacementApportionsByOccupancyShare(t *testing.T) {
+	bus, team, c := newPlacementRig(2, 8)
+	c.Tick(0)
+	// Queue 1 carries a sustained 40%-of-ring backlog, queue 0 is idle.
+	now := 0.0
+	var d Decision
+	for i := 0; i < 40; i++ {
+		bus.SetOccupancy(1, 0.4*4096)
+		bus.SetRho(1, 0.9)
+		now += 0.001
+		d = c.Tick(now)
+	}
+	if team.placements == 0 {
+		t.Fatal("no placement ever actuated")
+	}
+	if len(team.plan) != 2 || team.plan[1] <= team.plan[0] {
+		t.Fatalf("plan %v does not favour the hot queue", team.plan)
+	}
+	if sum := team.plan[0] + team.plan[1]; sum != team.size {
+		t.Fatalf("plan %v does not sum to team %d", team.plan, team.size)
+	}
+	if d.Applied != team.size {
+		t.Fatalf("decision applied %d != team %d", d.Applied, team.size)
+	}
+}
+
+// With the total pinned (MinThreads = Budget), only rebalances can act —
+// and a demand shift must migrate members, rate-limited by the cooldown.
+func TestPlacementRebalancesAtPinnedTotal(t *testing.T) {
+	bus, team, c := newPlacementRig(6, 6)
+	c.Tick(0)
+	now := 0.0
+	hot := func(q int, ticks int) {
+		for i := 0; i < ticks; i++ {
+			bus.SetOccupancy(q, 0.3*4096)
+			bus.SetOccupancy(1-q, 0)
+			bus.SetRho(q, 0.9)
+			bus.SetRho(1-q, 0.05)
+			now += 0.001
+			c.Tick(now)
+		}
+	}
+	hot(0, 60)
+	if team.plan == nil || team.plan[0] <= team.plan[1] {
+		t.Fatalf("plan %v does not favour queue 0", team.plan)
+	}
+	rebalancesAfterFirst := c.Report(now).Rebalances
+	if rebalancesAfterFirst == 0 {
+		t.Fatal("no rebalance counted")
+	}
+	// The demand flips: members must migrate the other way without any
+	// size change.
+	hot(1, 60)
+	if team.plan[1] <= team.plan[0] {
+		t.Fatalf("plan %v did not follow the demand shift", team.plan)
+	}
+	if team.size != 6 {
+		t.Fatalf("pinned total moved to %d", team.size)
+	}
+	rep := c.Report(now)
+	if rep.Resizes != 0 {
+		t.Fatalf("%d resizes at a pinned total", rep.Resizes)
+	}
+	if rep.FinalPlan == nil {
+		t.Fatal("report carries no final plan")
+	}
+}
+
+// A team hand-placed before the controller attaches must be rebalanced
+// away from: the baseline comes from the actual placement, not an assumed
+// balanced plan.
+func TestControllerCorrectsPreexistingPlacement(t *testing.T) {
+	bus := telemetry.NewBus(2, 8)
+	bus.SetCapacity(0, 4096)
+	bus.SetCapacity(1, 4096)
+	team := &fakeActuator{fakeTeam: fakeTeam{size: 6, floor: 2}}
+	team.ApplyPlacement([]int{5, 1}) // hand-placed skew
+	before := team.placements
+	cfg := DefaultConfig(6, 6)
+	cfg.Placement = true
+	c := New(bus, team, cfg)
+	c.Tick(0)
+	// Symmetric (zero) demand: the apportionment is the balanced [3 3],
+	// which differs from the real [5 1] baseline, so the first eligible
+	// tick past the cooldown must rebalance.
+	now := 0.0
+	for i := 0; i < 40 && team.placements == before; i++ {
+		now += 0.001
+		c.Tick(now)
+	}
+	if team.placements == before {
+		t.Fatal("pre-existing skew never corrected")
+	}
+	if team.plan[0] != 3 || team.plan[1] != 3 {
+		t.Fatalf("correction applied %v, want [3 3]", team.plan)
+	}
+}
+
+// Rebalances are rate-limited by the cooldown: two consecutive ticks with
+// flipped demand must not both actuate.
+func TestRebalanceCooldown(t *testing.T) {
+	bus, team, c := newPlacementRig(6, 6)
+	c.Tick(0)
+	now := 0.0
+	step := func(q int) {
+		bus.SetOccupancy(q, 0.3*4096)
+		bus.SetOccupancy(1-q, 0)
+		now += 0.001
+		c.Tick(now)
+	}
+	for i := 0; i < 40; i++ {
+		step(0)
+	}
+	count := team.placements
+	step(1) // inside the cooldown window of the last rebalance? force two quick flips
+	step(0)
+	step(1)
+	if team.placements > count+1 {
+		t.Fatalf("placements went %d -> %d across three ticks (cooldown %.3fs broken)",
+			count, team.placements, c.Config().Cooldown)
+	}
+}
+
+// The slope feedforward must pre-provision on a rising occupancy edge that
+// is still below the target — the plain PI would not have grown yet.
+func TestFeedforwardPreProvisionsOnRisingEdge(t *testing.T) {
+	mk := func(gain float64) (*telemetry.Bus, *fakeTeam, *Controller) {
+		bus := telemetry.NewBus(2, 8)
+		bus.SetCapacity(0, 4096)
+		bus.SetCapacity(1, 4096)
+		team := &fakeTeam{size: 2, floor: 2}
+		cfg := DefaultConfig(2, 8)
+		cfg.SlopeGain = gain
+		return bus, team, New(bus, team, cfg)
+	}
+	ramp := func(bus *telemetry.Bus, c *Controller) (grewAt float64, slopeSeen float64) {
+		c.Tick(0)
+		now := 0.0
+		for i := 1; i <= 40; i++ {
+			// Rising edge: occupancy climbs 1% of the ring per tick — it
+			// crosses the 10% target at tick 10, but the plain PI's
+			// deadband only clears around 17.5% while the slope term sees
+			// the climb from the first ticks.
+			bus.SetOccupancy(0, float64(i)*0.01*4096)
+			now += 0.001
+			d := c.Tick(now)
+			if d.Slope > slopeSeen {
+				slopeSeen = d.Slope
+			}
+			if d.Resized && grewAt == 0 {
+				grewAt = now
+			}
+		}
+		return grewAt, slopeSeen
+	}
+	busFF, _, cFF := mk(32)
+	grewAtFF, slope := ramp(busFF, cFF)
+	busPI, _, cPI := mk(0)
+	grewAtPI, _ := ramp(busPI, cPI)
+	if slope <= 0 {
+		t.Fatal("no positive slope observed on a rising edge")
+	}
+	if grewAtFF == 0 {
+		t.Fatal("feedforward never pre-provisioned on the edge")
+	}
+	// Both laws eventually saturate at the budget; the feedforward's whole
+	// contribution is moving the *first* grow earlier on the climb.
+	if grewAtPI != 0 && grewAtPI <= grewAtFF {
+		t.Fatalf("plain PI grew at %.3fs, not later than feedforward's %.3fs", grewAtPI, grewAtFF)
+	}
+}
+
+// The slope gauges republish to the bus for observers.
+func TestSlopeGaugesPublished(t *testing.T) {
+	bus, _, c := newRig(2, 8)
+	c.Tick(0)
+	bus.SetOccupancy(0, 0.2*4096)
+	c.Tick(0.001)
+	if bus.OccSlope(0) <= 0 {
+		t.Fatalf("occupancy slope gauge = %v, want > 0 after a rise", bus.OccSlope(0))
+	}
+	var snap telemetry.Snapshot
+	bus.Sample(&snap)
+	if snap.OccSlope[0] != bus.OccSlope(0) {
+		t.Fatal("snapshot does not carry the slope gauge")
+	}
+}
+
+// Without Placement (or without an Actuator team), the controller keeps
+// the scalar SetTeamSize path and Decisions carry no plan.
+func TestScalarPathWithoutPlacement(t *testing.T) {
+	bus, team, c := newRig(2, 8)
+	c.Tick(0)
+	bus.SetOccupancy(0, 0.5*4096)
+	d := c.Tick(0.001)
+	if !d.Resized || d.Plan != nil || d.Rebalanced {
+		t.Fatalf("scalar path decision carries placement state: %+v", d)
+	}
+	if len(team.resizes) == 0 {
+		t.Fatal("scalar resize not applied")
+	}
+}
+
 func TestReportAccountsThreadSeconds(t *testing.T) {
 	bus, team, c := newRig(2, 8)
 	c.Tick(0)

@@ -42,6 +42,16 @@ type Options struct {
 	// the common single-queue runner — the metrobench -elastic flag. The
 	// fig-elastic experiment pins its own controllers regardless.
 	Elastic bool
+	// Placement upgrades the Elastic override to the placement plane: the
+	// controller apportions members per queue (and feeds the slope
+	// feedforward) instead of only moving the scalar M — the metrobench
+	// -placement flag. fig-placement pins its own controllers regardless.
+	Placement bool
+	// RingCap overrides the Rx descriptor-ring capacity for deployments
+	// flowing through the common single-queue runner that do not pin
+	// their own — the metrobench -cap flag, scoped like Elastic (the nic
+	// default 576-slot ring makes the elastic occupancy target coarse).
+	RingCap int64
 	// Parallel bounds how many independent simulations a sweep experiment
 	// runs concurrently; 0 means GOMAXPROCS. Each row/series point is a
 	// self-contained deterministic simulation (own engine, RNG streams and
@@ -269,7 +279,12 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 	queues := make([]*nic.Queue, len(s.procs))
 	for i, p := range s.procs {
 		opt := nic.DefaultOptions()
+		if s.cfg.RingCap > 0 {
+			opt.Cap = s.cfg.RingCap
+		}
 		if s.optFn != nil {
+			// Experiment-pinned ring shapes win over the Options-level
+			// -cap override.
 			s.optFn(&opt)
 		}
 		queues[i] = nic.NewQueue(i, p, root.Split(), opt)
@@ -326,19 +341,27 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 }
 
 // overrideElastic yields the Options-level elastic override (-elastic on
-// metrobench): a default-tuned controller with a 2M core budget.
+// metrobench): a default-tuned controller with a 2M core budget, upgraded
+// to the placement plane when -placement is also set.
 func overrideElastic(o Options, cfg core.Config, nQueues int) *elastic.Config {
-	if !o.Elastic {
+	if !o.Elastic && !o.Placement {
 		return nil
 	}
 	ec := elastic.DefaultConfig(nQueues, 2*cfg.M)
+	if o.Placement {
+		ec.Placement = true
+		ec.SlopeGain = 8
+	}
 	return &ec
 }
 
 // singleQueueCBR is the common single-queue constant-rate deployment; the
-// Options-level policy and elastic overrides apply unless cfg pinned a
-// discipline.
+// Options-level policy, elastic and ring-capacity overrides apply unless
+// cfg pinned its own.
 func singleQueueCBR(o Options, cfg core.Config, pps, dur float64, seed uint64) (*core.Runtime, core.Metrics) {
+	if cfg.RingCap == 0 {
+		cfg.RingCap = o.RingCap
+	}
 	return runMetronome(runSpec{
 		cfg:     cfg,
 		policy:  overridePolicy(o, cfg),

@@ -325,40 +325,89 @@ func (r *Runner) spawnLocked(id int) {
 func (r *Runner) TeamSize() int { return int(r.teamSize.Load()) }
 
 // SetTeamSize grows or shrinks the retrieval team to m mid-run — the live
-// substrate of the elastic control plane. It returns the applied size (m
-// clamps to one thread per queue). Growth spawns goroutines past the
-// high-water mark and wakes parked ones via a closed-channel broadcast;
-// shrinkage lets surplus goroutines finish their current cycle and park.
-// The policy is notified through sched.Resizable, so r = M/N group
-// members re-home through the existing CAS turn machinery on their next
-// cycle. Safe to call before Run (the team starts at the new size) and
-// from any goroutine while running.
+// substrate of the elastic control plane's scalar path, retained as the
+// degenerate *balanced* placement plan (m members spread m/N per queue).
+// It returns the applied size (m clamps to one thread per queue). Safe to
+// call before Run (the team starts at the new size) and from any
+// goroutine while running.
 func (r *Runner) SetTeamSize(m int) int {
 	if m < len(r.queues) {
 		m = len(r.queues)
 	}
+	return r.ApplyPlacement(sched.BalancedPlacement(m, len(r.queues)))
+}
+
+// ApplyPlacement adopts a full placement plan mid-run — the live substrate
+// of the placement plane. perQueue[q] members are provisioned for queue q
+// (entries clamped to >= 1); the team total becomes their sum and the
+// applied total is returned.
+//
+// Growth spawns goroutines past the high-water mark and wakes parked ones
+// via a closed-channel broadcast; shrinkage lets surplus goroutines finish
+// their current cycle and park. The policy adopts the plan through
+// sched.Rebalancer when it can place (rmetronome/worksteal swap a complete
+// home/rank/size layout behind one atomic pointer) and through
+// sched.Resizable otherwise. Members whose home moved re-home through the
+// existing cycle-end return path without dropping claimed turns: the
+// per-queue CAS turn counters live outside the layout and survive the
+// swap, so a member that claimed a turn before the rebalance still serves
+// it, then re-arms on its new home. Safe to call before Run and from any
+// goroutine while running.
+func (r *Runner) ApplyPlacement(perQueue []int) int {
+	sizes, total := sched.NormalizePlacement(perQueue, len(r.queues))
 	r.resizeMu.Lock()
 	defer r.resizeMu.Unlock()
-	if m == int(r.teamSize.Load()) {
-		return m
+	if total == int(r.teamSize.Load()) && r.placementUnchangedLocked(sizes) {
+		return total
 	}
-	r.teamSize.Store(int32(m))
-	if rz, ok := r.policy.(sched.Resizable); ok {
-		rz.SetTeamSize(m)
+	r.teamSize.Store(int32(total))
+	switch p := r.policy.(type) {
+	case sched.Rebalancer:
+		p.SetPlacement(sizes)
+	case sched.Resizable:
+		p.SetTeamSize(total)
 	}
 	if r.running {
-		for id := r.spawned; id < m; id++ {
+		for id := r.spawned; id < total; id++ {
 			r.spawnLocked(id)
 		}
-		if m > r.spawned {
-			r.spawned = m
+		if total > r.spawned {
+			r.spawned = total
 		}
 	}
 	// Broadcast: every parked goroutine re-checks its id against the new
 	// team size.
 	close(r.resizeCh)
 	r.resizeCh = make(chan struct{})
-	return m
+	return total
+}
+
+// placementUnchangedLocked reports whether sizes matches the placement the
+// policy currently holds; non-placing policies only carry the total, which
+// the caller already compared.
+func (r *Runner) placementUnchangedLocked(sizes []int) bool {
+	rb, ok := r.policy.(sched.Rebalancer)
+	if !ok {
+		return true
+	}
+	return sched.PlacementEqual(rb.Placement(), sizes)
+}
+
+// CanPlace reports whether ApplyPlacement plans actually land per queue:
+// true only when the discipline binds placeable groups (sched.Rebalancer).
+// Roaming disciplines accept plans but degrade them to the total.
+func (r *Runner) CanPlace() bool {
+	_, ok := r.policy.(sched.Rebalancer)
+	return ok
+}
+
+// Placement returns the per-queue member counts currently in effect (the
+// policy's group sizes when it places, the balanced split otherwise).
+func (r *Runner) Placement() []int {
+	if rb, ok := r.policy.(sched.Rebalancer); ok {
+		return rb.Placement()
+	}
+	return sched.BalancedPlacement(r.TeamSize(), len(r.queues))
 }
 
 // park blocks goroutine id until a resize re-admits it or ctx ends; it

@@ -9,6 +9,7 @@ import (
 
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
+	"metronome/internal/sched"
 	"metronome/internal/telemetry"
 	"metronome/internal/xrand"
 )
@@ -572,6 +573,75 @@ func TestResizeUnderLoadRace(t *testing.T) {
 	// Telemetry flowed from the goroutines.
 	if bus.Tries(0)+bus.Tries(1) == 0 {
 		t.Error("no tries published to the bus")
+	}
+}
+
+// TestRebalanceUnderLoadRace hammers ApplyPlacement with shifting plans
+// while packets flow — run with -race (CI does): the policy's full-layout
+// swaps, member re-homing through the cycle-end return path, goroutine
+// spawn/park on total changes and telemetry publishing must all be
+// data-race free, every packet must still be processed exactly once, and
+// the final plan must land.
+func TestRebalanceUnderLoadRace(t *testing.T) {
+	bench := newBench(t, 3)
+	bus := telemetry.NewBus(3, 16)
+	var processed atomic.Uint64
+	handler := func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			processed.Add(1)
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{
+		M: 6, VBar: 100 * time.Microsecond, Seed: 47,
+		Policy: "rmetronome", Bus: bus, Dephase: true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	// Rebalancer: sweep placement plans (including total changes and
+	// clamped entries) while the producer runs.
+	plans := [][]int{
+		{4, 1, 1}, {1, 4, 1}, {1, 1, 4}, {2, 2, 2},
+		{5, 2, 1}, {1, 1, 1}, {0, 3, 3}, {3, 3, 3},
+	}
+	var rz sync.WaitGroup
+	rz.Add(1)
+	go func() {
+		defer rz.Done()
+		for i := 0; ctx.Err() == nil && i < len(plans)*5; i++ {
+			r.ApplyPlacement(plans[i%len(plans)])
+			time.Sleep(2 * time.Millisecond)
+		}
+		r.ApplyPlacement([]int{2, 1, 3})
+	}()
+
+	sent := bench.produce(ctx, 20000)
+	deadline := time.Now().Add(10 * time.Second)
+	for processed.Load() < uint64(sent) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rz.Wait()
+	if got := r.TeamSize(); got != 6 {
+		t.Errorf("final team size %d, want 6", got)
+	}
+	if rb, ok := r.Policy().(sched.Rebalancer); ok {
+		p := rb.Placement()
+		if p[0] != 2 || p[1] != 1 || p[2] != 3 {
+			t.Errorf("final placement %v, want [2 1 3]", p)
+		}
+	} else {
+		t.Error("rmetronome must be a Rebalancer")
+	}
+	cancel()
+	wg.Wait()
+	if processed.Load() != uint64(sent) {
+		t.Fatalf("processed %d of %d under rebalancing", processed.Load(), sent)
+	}
+	if bench.pool.Available() != bench.pool.Size() {
+		t.Fatalf("pool leak: %d/%d", bench.pool.Available(), bench.pool.Size())
 	}
 }
 

@@ -257,6 +257,95 @@ func TestSimLiveRMetronomeEquivalence(t *testing.T) {
 	}
 }
 
+// TestSimLivePlacementEquivalence runs one scripted ApplyPlacement
+// sequence against both substrates: after each plan (interleaved with
+// observed cycles and claimed service turns), the sim twin's policy and
+// the live runner's policy must agree bit-for-bit on team size, per-queue
+// group sizes, home assignments, member timeouts, rotation backoffs, load
+// estimates AND the service-turn counters — a rebalance must never drop a
+// claimed turn on either side.
+func TestSimLivePlacementEquivalence(t *testing.T) {
+	script := []struct {
+		plan     []int // nil = no placement change this step
+		busy     float64
+		vacation float64
+	}{
+		{nil, 5e-6, 20e-6},
+		{[]int{1, 3}, 50e-6, 10e-6},
+		{[]int{1, 3}, 80e-6, 8e-6}, // identical plan: must be a no-op
+		{[]int{4, 2}, 120e-6, 2e-6},
+		{[]int{1, 1}, 1e-6, 300e-6},
+		{[]int{2, 5}, 3e-6, 3e-6},
+		{[]int{0, 2}, 10e-6, 30e-6}, // clamps to {1, 2}
+	}
+	for _, policy := range []string{sched.NameRMetronome, sched.NameWorkSteal} {
+		rt, runner := newTwinsPolicy(t, policy, 4, 2)
+		simPol, livePol := rt.Policy(), runner.Policy()
+		simG := rt.Group()
+		liveG := livePol.(sched.GroupPolicy)
+		for step, s := range script {
+			if s.plan != nil {
+				sa := rt.ApplyPlacement(s.plan)
+				la := runner.ApplyPlacement(s.plan)
+				if sa != la {
+					t.Fatalf("%s step %d: applied totals differ: sim %d live %d", policy, step, sa, la)
+				}
+				if rt.TeamSize() != runner.TeamSize() || rt.TeamSize() != sa {
+					t.Fatalf("%s step %d: team sizes sim %d live %d applied %d",
+						policy, step, rt.TeamSize(), runner.TeamSize(), sa)
+				}
+				srb := simPol.(sched.Rebalancer)
+				lrb := livePol.(sched.Rebalancer)
+				sp, lp := srb.Placement(), lrb.Placement()
+				for q := range sp {
+					if sp[q] != lp[q] {
+						t.Fatalf("%s step %d: placements differ: sim %v live %v", policy, step, sp, lp)
+					}
+				}
+				simRt := rt.Placement()
+				for q := range sp {
+					if simRt[q] != sp[q] {
+						t.Fatalf("%s step %d: runtime placement %v != policy %v", policy, step, simRt, sp)
+					}
+				}
+			}
+			m := rt.TeamSize()
+			for id := 0; id < m; id++ {
+				if simG.HomeQueue(id) != liveG.HomeQueue(id) {
+					t.Fatalf("%s step %d thread %d: home %d != %d",
+						policy, step, id, simG.HomeQueue(id), liveG.HomeQueue(id))
+				}
+			}
+			for q := 0; q < 2; q++ {
+				if simG.GroupSize(q) != liveG.GroupSize(q) {
+					t.Fatalf("%s step %d q %d: group size %d != %d",
+						policy, step, q, simG.GroupSize(q), liveG.GroupSize(q))
+				}
+				// Both sides claim a turn this step: the counters must stay
+				// in lockstep across every rebalance.
+				if !simG.ClaimTurn(q) || !liveG.ClaimTurn(q) {
+					t.Fatalf("%s step %d q %d: uncontended claim failed", policy, step, q)
+				}
+				if simG.Turns(q) != liveG.Turns(q) {
+					t.Fatalf("%s step %d q %d: turns %d != %d",
+						policy, step, q, simG.Turns(q), liveG.Turns(q))
+				}
+				sTS := simPol.ObserveCycle(q, s.busy, s.vacation)
+				lTS := livePol.ObserveCycle(q, s.busy, s.vacation)
+				if sTS != lTS {
+					t.Fatalf("%s step %d q %d: TS %v != %v", policy, step, q, sTS, lTS)
+				}
+				if simPol.TL(q) != livePol.TL(q) {
+					t.Fatalf("%s step %d q %d: TL %v != %v", policy, step, q, simPol.TL(q), livePol.TL(q))
+				}
+				if simPol.Rho(q) != livePol.Rho(q) {
+					t.Fatalf("%s step %d q %d: rho %v != %v", policy, step, q, simPol.Rho(q), livePol.Rho(q))
+				}
+			}
+		}
+	}
+}
+
 // TestSimLiveResizeEquivalence runs one scripted resize sequence against
 // both substrates: after each SetTeamSize (interleaved with observed
 // cycles), the sim twin's policy and the live runner's policy must agree

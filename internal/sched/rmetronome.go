@@ -73,21 +73,43 @@ type rmLayout struct {
 	size []int // size[q] = r_q, members of queue q's service group
 }
 
-// buildLayout partitions m threads over n queues round-robin.
+// buildLayout partitions m threads over n queues round-robin — the
+// balanced layout SetTeamSize keeps publishing.
 func buildLayout(m, n int) *rmLayout {
 	if m < 1 {
 		m = 1
+	}
+	return buildPlacedLayout(BalancedPlacement(m, n))
+}
+
+// buildPlacedLayout realises an arbitrary per-queue assignment: thread ids
+// are dealt round-robin across the queues, skipping any queue whose group
+// is already full, so a balanced sizes vector reproduces the legacy
+// thread i -> queue i % n layout bit-for-bit and every layout is a pure
+// function of the sizes vector (the sim twin and the live runtime derive
+// identical homes from identical plans).
+func buildPlacedLayout(sizes []int) *rmLayout {
+	n := len(sizes)
+	m := 0
+	for _, s := range sizes {
+		if s > 0 {
+			m += s
+		}
 	}
 	l := &rmLayout{
 		home: make([]int, m),
 		rank: make([]int, m),
 		size: make([]int, n),
 	}
+	q := 0
 	for i := 0; i < m; i++ {
-		q := i % n
+		for l.size[q] >= sizes[q] {
+			q = (q + 1) % n
+		}
 		l.home[i] = q
 		l.rank[i] = l.size[q]
 		l.size[q]++
+		q = (q + 1) % n
 	}
 	return l
 }
@@ -137,14 +159,39 @@ func (p *RMetronome) ObserveCycle(q int, busy, vacation float64) float64 {
 	return ts
 }
 
-// SetTeamSize implements Resizable: swap in the r = M/N partition for the
-// new team and republish every queue's eq. (13) member timeout at the
-// current load estimate, so groups adopt their new size within one atomic
-// pointer swap instead of one cycle per queue. Turn counters are per-queue
-// (N is fixed) and survive the resize, keeping the rotation history.
+// SetTeamSize implements Resizable as the degenerate balanced plan: swap
+// in the r = M/N partition for the new team and republish every queue's
+// eq. (13) member timeout at the current load estimate, so groups adopt
+// their new size within one atomic pointer swap instead of one cycle per
+// queue. Turn counters are per-queue (N is fixed) and survive the resize,
+// keeping the rotation history.
 func (p *RMetronome) SetTeamSize(m int) {
 	p.base.SetTeamSize(m)
-	l := buildLayout(p.TeamSize(), p.cfg.N)
+	p.publishLayout(buildLayout(p.TeamSize(), p.cfg.N))
+}
+
+// SetPlacement implements Rebalancer: adopt an arbitrary per-queue group
+// assignment (entries clamped to >= 1) in one atomic layout swap. Each
+// group's eq. (13) member timeout republishes at its *new* integer size
+// immediately — a queue that just gained members starts holding the
+// vacation target with all of them, not one cycle later. Per-queue state
+// that outlives a layout — the CAS service-turn counters and the busy-
+// period EWMAs the de-phasing law predicts with — is untouched, so members
+// re-home without dropping claimed turns or rotation history.
+func (p *RMetronome) SetPlacement(sizes []int) {
+	norm, total := NormalizePlacement(sizes, p.cfg.N)
+	p.base.SetTeamSize(total)
+	p.publishLayout(buildPlacedLayout(norm))
+}
+
+// Placement implements Rebalancer.
+func (p *RMetronome) Placement() []int {
+	return append([]int(nil), p.layout.Load().size...)
+}
+
+// publishLayout swaps the layout in and republishes every queue's member
+// timeout at the current load estimate.
+func (p *RMetronome) publishLayout(l *rmLayout) {
 	p.layout.Store(l)
 	for q := range p.ts {
 		p.ts[q].Store(p.evaluate(l, q, p.est.Rho(q)))

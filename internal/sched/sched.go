@@ -141,6 +141,80 @@ type Resizable interface {
 	TeamSize() int
 }
 
+// Rebalancer is an optional Resizable extension for disciplines that can
+// adopt an *arbitrary* per-queue thread assignment online — the hook the
+// placement plane (internal/elastic's placement law) drives when it moves
+// members between service groups instead of, or in addition to, moving the
+// scalar team size. SetTeamSize remains the degenerate balanced plan:
+// SetTeamSize(m) must be exactly SetPlacement(BalancedPlacement(m, N)).
+// Implementations swap a complete home/rank/size layout atomically and
+// republish per-group timeouts, safe against concurrent TS/Rho readers;
+// per-queue state that outlives a layout (service-turn counters, busy-period
+// EWMAs) must survive the swap so members re-home without losing history.
+type Rebalancer interface {
+	Resizable
+	// SetPlacement adopts sizes[q] threads homed on queue q (entries are
+	// clamped to >= 1 — Sec. IV-E, every queue deserves an attendant); the
+	// team size becomes their sum.
+	SetPlacement(sizes []int)
+	// Placement returns the per-queue group sizes currently in effect.
+	Placement() []int
+}
+
+// BalancedPlacement spreads m threads over n queues exactly the way the
+// legacy thread-id round-robin (thread i homed on queue i % n) did: every
+// queue gets m/n members and the first m%n queues one extra. It is the
+// plan SetTeamSize degenerates to.
+func BalancedPlacement(m, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if m < 0 {
+		m = 0
+	}
+	sizes := make([]int, n)
+	for i := 0; i < m; i++ {
+		sizes[i%n]++
+	}
+	return sizes
+}
+
+// NormalizePlacement is THE plan-normalisation rule every placement layer
+// shares: project perQueue onto n queues, clamp each entry to at least one
+// attendant (Sec. IV-E), and return the normalised sizes with their total.
+// rmetronome's SetPlacement and both substrates' ApplyPlacement all
+// normalise through here, which is what keeps the sim twin and the live
+// runtime bit-identical under the placement equivalence tests.
+func NormalizePlacement(perQueue []int, n int) ([]int, int) {
+	if n < 1 {
+		n = 1
+	}
+	sizes := make([]int, n)
+	total := 0
+	for q := 0; q < n; q++ {
+		s := 1
+		if q < len(perQueue) && perQueue[q] > 1 {
+			s = perQueue[q]
+		}
+		sizes[q] = s
+		total += s
+	}
+	return sizes, total
+}
+
+// PlacementEqual reports whether two per-queue plans place identically.
+func PlacementEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Dephaser is an optional Policy extension for disciplines that stagger a
 // member's next wake within its service group. Both substrates pass every
 // home-queue sleep through Dephase when the policy implements it — the

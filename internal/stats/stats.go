@@ -116,6 +116,16 @@ func (s *Sample) SetCap(n int) {
 // Cap returns the configured retention bound (0 = unbounded).
 func (s *Sample) Cap() int { return s.capN }
 
+// Reset discards the retained values and any thinning state but keeps the
+// configured cap and the backing array, so a Reset+Merge cycle allocates
+// only when it outgrows the previous high-water mark — the reusable-buffer
+// contract core.Snapshot leans on.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+	s.stride, s.skip = 0, 0
+}
+
 // enforceCap thins the retained values to at most capN, doubling the
 // acceptance stride per halving pass.
 func (s *Sample) enforceCap() {

@@ -15,6 +15,7 @@ func BenchmarkTelemetrySample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q := i & 3
 		bus.SetOccupancy(q, float64(i))
+		bus.SetOccSlope(q, float64(i)*1e-3)
 		bus.SetRho(q, 0.5)
 		bus.SetDrops(q, uint64(i))
 		bus.SetRx(q, uint64(i))

@@ -43,6 +43,7 @@ type Bus struct {
 
 	occ      []slot // per-queue occupancy in packets (gauge)
 	capacity []slot // per-queue ring capacity in packets (gauge)
+	slope    []slot // per-queue occupancy slope in capacity fractions/s (gauge)
 	rho      []slot // per-queue load estimate (gauge)
 	drops    []slot // per-queue dropped packets (counter)
 	rx       []slot // per-queue received packets (counter)
@@ -66,6 +67,7 @@ func NewBus(nQueues, maxThreads int) *Bus {
 		nt:       maxThreads,
 		occ:      make([]slot, nQueues),
 		capacity: make([]slot, nQueues),
+		slope:    make([]slot, nQueues),
 		rho:      make([]slot, nQueues),
 		drops:    make([]slot, nQueues),
 		rx:       make([]slot, nQueues),
@@ -92,6 +94,16 @@ func (b *Bus) SetCapacity(q int, pkts float64) { b.capacity[q].storeF(pkts) }
 
 // Capacity returns queue q's published ring capacity.
 func (b *Bus) Capacity(q int) float64 { return b.capacity[q].loadF() }
+
+// SetOccSlope publishes queue q's smoothed occupancy slope, in ring-
+// capacity fractions per second — the elastic controller's EWMA of
+// d(occupancy/capacity)/dt, positive while a ramp or sine edge is filling
+// the ring. Observers (the fig-placement panels, dashboards) read the
+// control plane's predictive input here instead of re-deriving it.
+func (b *Bus) SetOccSlope(q int, fracPerSec float64) { b.slope[q].storeF(fracPerSec) }
+
+// OccSlope returns queue q's last published occupancy slope.
+func (b *Bus) OccSlope(q int) float64 { return b.slope[q].loadF() }
 
 // SetRho publishes queue q's load estimate.
 func (b *Bus) SetRho(q int, rho float64) { b.rho[q].storeF(rho) }
@@ -158,7 +170,7 @@ func (b *Bus) ThreadBusy(t int) float64 {
 // across Sample calls: after the first call sized to the bus, sampling
 // allocates nothing.
 type Snapshot struct {
-	Occ, Cap, Rho            []float64
+	Occ, Cap, Rho, OccSlope  []float64
 	Drops, Rx, Tries, BusyTr []uint64
 	ThreadBusy               []float64
 }
@@ -169,6 +181,7 @@ func (b *Bus) Sample(dst *Snapshot) {
 	dst.Occ = sizedF(dst.Occ, b.nq)
 	dst.Cap = sizedF(dst.Cap, b.nq)
 	dst.Rho = sizedF(dst.Rho, b.nq)
+	dst.OccSlope = sizedF(dst.OccSlope, b.nq)
 	dst.Drops = sizedU(dst.Drops, b.nq)
 	dst.Rx = sizedU(dst.Rx, b.nq)
 	dst.Tries = sizedU(dst.Tries, b.nq)
@@ -178,6 +191,7 @@ func (b *Bus) Sample(dst *Snapshot) {
 		dst.Occ[q] = b.occ[q].loadF()
 		dst.Cap[q] = b.capacity[q].loadF()
 		dst.Rho[q] = b.rho[q].loadF()
+		dst.OccSlope[q] = b.slope[q].loadF()
 		dst.Drops[q] = b.drops[q].load()
 		dst.Rx[q] = b.rx[q].load()
 		dst.Tries[q] = b.tries[q].load()

@@ -45,6 +45,20 @@ func TestGaugesAndCounters(t *testing.T) {
 	}
 }
 
+func TestOccSlopeGauge(t *testing.T) {
+	b := NewBus(2, 4)
+	b.SetOccSlope(0, 12.5)
+	b.SetOccSlope(1, -3.25)
+	if b.OccSlope(0) != 12.5 || b.OccSlope(1) != -3.25 {
+		t.Fatalf("slope gauges: %v %v", b.OccSlope(0), b.OccSlope(1))
+	}
+	var s Snapshot
+	b.Sample(&s)
+	if s.OccSlope[0] != 12.5 || s.OccSlope[1] != -3.25 {
+		t.Fatalf("snapshot slopes: %v", s.OccSlope)
+	}
+}
+
 func TestThreadSlotsBeyondBudgetAreDropped(t *testing.T) {
 	b := NewBus(1, 2)
 	b.SetThreadBusy(5, 3.0) // must not panic

@@ -124,6 +124,11 @@ type (
 	// SchedResizable is the optional Policy extension resizable
 	// disciplines implement: adopting a new thread-team size online.
 	SchedResizable = sched.Resizable
+	// SchedRebalancer is the optional Resizable extension placement-aware
+	// disciplines implement: adopting an arbitrary per-queue thread
+	// assignment online (rmetronome/worksteal swap a full home/rank/size
+	// layout behind one atomic pointer).
+	SchedRebalancer = sched.Rebalancer
 	// SchedDephaser is the optional Policy extension for turn-aware wake
 	// de-phasing of shared-queue groups.
 	SchedDephaser = sched.Dephaser
@@ -145,6 +150,10 @@ const (
 	// selection: lost-race threads re-target the sibling queue with the
 	// highest observed occupancy instead of a uniform random pick.
 	PolicyWorkSteal = sched.NameWorkSteal
+	// PolicyUniformVac is the uniform-vacation ablation: the high-load
+	// eq. (6) inversion pinned at every load, isolating what the eq. (11)
+	// load estimator buys (see the abl-uniformvac experiment).
+	PolicyUniformVac = sched.NameUniformVac
 )
 
 // NewPolicy instantiates a registered scheduling discipline by name.
@@ -185,6 +194,14 @@ type (
 	// ElasticTeam is anything the controller can resize; Runner and the
 	// sim twin's core.Runtime both implement it.
 	ElasticTeam = elastic.Team
+	// ElasticActuator is a Team that can adopt a full per-queue placement
+	// plan (ApplyPlacement); both substrates implement it, and the
+	// controller's placement law (ElasticConfig.Placement) actuates
+	// through it with SetTeamSize retained as the balanced special case.
+	ElasticActuator = elastic.Actuator
+	// ElasticPlan is one placement actuation: a team total and its
+	// per-queue apportionment.
+	ElasticPlan = elastic.Plan
 )
 
 // NewTelemetryBus builds a bus over nQueues queues and maxThreads thread
@@ -274,7 +291,7 @@ func Simulate(cfg SimConfig, arrivals []Traffic, duration time.Duration) SimMetr
 	root := xrand.New(cfg.Seed)
 	queues := make([]*nic.Queue, len(arrivals))
 	for i, p := range arrivals {
-		queues[i] = nic.NewQueue(i, p, root.Split(), nic.DefaultOptions())
+		queues[i] = nic.NewQueue(i, p, root.Split(), ringOptions(cfg))
 	}
 	rt := core.New(eng, queues, cfg)
 	rt.Start()
@@ -293,7 +310,7 @@ func SimulateElastic(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, dura
 	root := xrand.New(cfg.Seed)
 	queues := make([]*nic.Queue, len(arrivals))
 	for i, p := range arrivals {
-		queues[i] = nic.NewQueue(i, p, root.Split(), nic.DefaultOptions())
+		queues[i] = nic.NewQueue(i, p, root.Split(), ringOptions(cfg))
 	}
 	budget := cfg.M
 	if ecfg.Budget > budget {
@@ -315,6 +332,18 @@ func SimulateElastic(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, dura
 		rep.MeanThreads = rep.ThreadSeconds / d
 	}
 	return rt.Snapshot(d), rep
+}
+
+// ringOptions resolves the per-queue descriptor-ring options a SimConfig
+// asks for (RingCap > 0 overrides the default 576-slot ring — the elastic
+// occupancy target is a fraction of this capacity, so metrosim's -cap flag
+// makes the target finer- or coarser-grained).
+func ringOptions(cfg SimConfig) nic.Options {
+	opt := nic.DefaultOptions()
+	if cfg.RingCap > 0 {
+		opt.Cap = cfg.RingCap
+	}
+	return opt
 }
 
 // --- experiments ---------------------------------------------------------------

@@ -176,3 +176,65 @@ func TestPublicElasticAPI(t *testing.T) {
 		t.Fatalf("elastic runs diverged:\n%+v %+v\n%+v %+v", m1, r1, m2, r2)
 	}
 }
+
+// TestPublicPlacementAPI drives the placement plane end to end through the
+// facade: with ElasticConfig.Placement a hot-queue shift must migrate
+// members (the report carries a plan favouring the hot queue), the -cap
+// analogue RingCap must shape the ring the occupancy target is measured
+// against, and identical runs must be identical.
+func TestPublicPlacementAPI(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 6
+	cfg.VBar = 15e-6
+	cfg.Policy = metronome.PolicyRMetronome
+	cfg.RingCap = 2048
+	cfg.Seed = 9
+	hot := func(q, hotQ int) metronome.Traffic {
+		if q == hotQ {
+			return metronome.CBR{PPS: 16e6}
+		}
+		return metronome.CBR{PPS: 2e6}
+	}
+	arrivals := []metronome.Traffic{hot(0, 2), hot(1, 2), hot(2, 2)}
+	run := func() (metronome.SimMetrics, metronome.ElasticReport) {
+		ecfg := metronome.DefaultElasticConfig(6, 6) // pinned total: placement only
+		ecfg.Placement = true
+		return metronome.SimulateElastic(cfg, ecfg, arrivals, 200*time.Millisecond)
+	}
+	m1, r1 := run()
+	if r1.FinalPlan == nil {
+		t.Fatalf("placement run carries no plan: %+v", r1)
+	}
+	if r1.FinalPlan[2] <= r1.FinalPlan[0] || r1.FinalPlan[2] <= r1.FinalPlan[1] {
+		t.Fatalf("plan %v does not favour the hot queue", r1.FinalPlan)
+	}
+	if r1.Rebalances == 0 {
+		t.Fatalf("no rebalances at a pinned total: %+v", r1)
+	}
+	if r1.Resizes != 0 || r1.MinThreads != 6 || r1.MaxThreads != 6 {
+		t.Fatalf("pinned total moved: %+v", r1)
+	}
+	m2, r2 := run()
+	if m1.Cycles != m2.Cycles || m1.RxPackets != m2.RxPackets || r1.Rebalances != r2.Rebalances {
+		t.Fatalf("placement runs diverged:\n%+v %+v\n%+v %+v", m1, r1, m2, r2)
+	}
+}
+
+// TestSimulateRingCap pins the -cap knob: a smaller ring must actually
+// bound the queue (more drops under a burst than the default ring).
+func TestSimulateRingCap(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 1
+	cfg.Seed = 3
+	cfg.Policy = metronome.PolicyFixed
+	cfg.TSFixed = 300e-6 // long fixed timeout: bursts pile up between polls
+	burst := metronome.CBR{PPS: 10e6}
+	cfg.RingCap = 32
+	small := metronome.Simulate(cfg, []metronome.Traffic{burst}, 20*time.Millisecond)
+	cfg.RingCap = 0 // nic default (576)
+	big := metronome.Simulate(cfg, []metronome.Traffic{burst}, 20*time.Millisecond)
+	if small.Drops <= big.Drops {
+		t.Fatalf("RingCap=32 dropped %d, default ring dropped %d — cap not honoured",
+			small.Drops, big.Drops)
+	}
+}
