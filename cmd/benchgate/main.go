@@ -13,7 +13,14 @@
 // A baseline file carries either a single "gate" block or a "gates" array
 // — BENCH_simulate.json gates the simulator loop, BENCH_ring.json gates
 // both ring specialisations, BENCH_telemetry.json pins the telemetry
-// plane's publish+sample at zero allocations.
+// plane's publish+sample at zero allocations, BENCH_apps.json gates the
+// application burst paths.
+//
+// A gate may also carry "min_speedup_over"/"min_speedup_x": the gated
+// benchmark's best ns/op must then be at least min_speedup_x times faster
+// than the named reference benchmark measured in the SAME run. Because both
+// sides share the run, runner noise largely cancels, so a ratio gate can be
+// tight where an absolute ns/op gate needs a generous guard.
 //
 // Usage:
 //
@@ -37,6 +44,10 @@ type gate struct {
 	MaxAllocsPerOp  int64   `json:"max_allocs_per_op"`
 	NsPerOpRef      float64 `json:"ns_per_op_ref"`
 	TimeGuardFactor float64 `json:"time_guard_factor"`
+	// Optional same-run ratio gate: this benchmark's best ns/op must be at
+	// least MinSpeedupX times lower than SpeedupOver's best ns/op.
+	SpeedupOver string  `json:"min_speedup_over,omitempty"`
+	MinSpeedupX float64 `json:"min_speedup_x,omitempty"`
 }
 
 // baseline mirrors the gate block(s) of a BENCH_*.json file.
@@ -73,6 +84,8 @@ func main() {
 	if len(gates) == 0 {
 		fatal("baseline %s has no usable gate block", *path)
 	}
+	// Collect samples for every gated benchmark plus any speedup reference.
+	watch := make(map[string]bool, len(gates))
 	byName := make(map[string]*gate, len(gates))
 	for i := range gates {
 		g := &gates[i]
@@ -80,6 +93,10 @@ func main() {
 			g.TimeGuardFactor = 3
 		}
 		byName[g.Benchmark] = g
+		watch[g.Benchmark] = true
+		if g.SpeedupOver != "" {
+			watch[g.SpeedupOver] = true
+		}
 	}
 
 	seen := map[string]*sample{}
@@ -91,7 +108,7 @@ func main() {
 			continue
 		}
 		name := strings.SplitN(fields[0], "-", 2)[0]
-		if _, gated := byName[name]; !gated {
+		if !watch[name] {
 			continue
 		}
 		ns, okNs := valueBefore(fields, "ns/op")
@@ -134,6 +151,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s best ns/op %.0f > %.1fx baseline %.0f (guard factor absorbs shared-runner noise; this is beyond it)\n",
 				g.Benchmark, s.minNs, g.TimeGuardFactor, g.NsPerOpRef)
 			gateFail = true
+		}
+		if g.SpeedupOver != "" && g.MinSpeedupX > 0 {
+			ref := seen[g.SpeedupOver]
+			if ref == nil {
+				fatal("no %s samples on stdin (referenced by %s's speedup gate)", g.SpeedupOver, g.Benchmark)
+			}
+			if speedup := ref.minNs / s.minNs; speedup < g.MinSpeedupX {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s only %.2fx faster than %s, gate requires >= %.1fx (same-run ratio: noise cancels, this is a real regression)\n",
+					g.Benchmark, speedup, g.SpeedupOver, g.MinSpeedupX)
+				gateFail = true
+			} else {
+				fmt.Printf("benchgate: %s is %.2fx faster than %s (gate >= %.1fx)\n",
+					g.Benchmark, speedup, g.SpeedupOver, g.MinSpeedupX)
+			}
 		}
 		if gateFail {
 			fail = true

@@ -85,22 +85,23 @@ func inspect(records []pcap.Record, queues int) {
 		span = records[len(records)-1].TS - records[0].TS
 	}
 	fmt.Printf("packets: %d (%d malformed)   flows: %d   span: %.3fs\n",
-		mon.Packets, mon.Malformed, len(mon.Flows), span)
+		mon.Packets, mon.Malformed, mon.FlowCount(), span)
 	fmt.Printf("sizes: mean %.1fB [%0.f..%0.f]\n",
 		mon.Sizes.Mean(), mon.Sizes.Min(), mon.Sizes.Max())
 
 	fmt.Println("\ntop flows:")
 	for i, k := range mon.TopK(5) {
-		fs := mon.Flows[k]
+		fs, _ := mon.Flow(k)
 		fmt.Printf("  #%d %-44v pkts=%-6d (%.1f%%)\n",
 			i+1, k, fs.Packets, 100*float64(fs.Packets)/float64(mon.Packets))
 	}
 
 	rss := packet.NewToeplitz(packet.DefaultRSSKey)
 	perQueue := make([]int64, queues)
-	for k, fs := range mon.Flows {
+	mon.Range(func(k packet.FlowKey, fs *flowatcher.FlowStats) bool {
 		perQueue[rss.QueueFor(k, queues)] += fs.Packets
-	}
+		return true
+	})
 	fmt.Printf("\nRSS split over %d queues:\n", queues)
 	for q, c := range perQueue {
 		fmt.Printf("  queue %d: %6d packets (%.1f%%)\n",

@@ -78,12 +78,12 @@ func main() {
 	}
 	time.Sleep(100 * time.Millisecond)
 
-	fmt.Printf("packets monitored: %d of %d sent, %d flows\n", mon.Packets, sent, len(mon.Flows))
+	fmt.Printf("packets monitored: %d of %d sent, %d flows\n", mon.Packets, sent, mon.FlowCount())
 	fmt.Printf("mean size: %.1fB   mean interarrival: %v\n",
 		mon.Sizes.Mean(), time.Duration(mon.Interarrival.Mean()*float64(time.Second)))
 	fmt.Println("top flows (exact table vs count-min sketch):")
 	for i, k := range mon.TopK(3) {
-		fs := mon.Flows[k]
+		fs, _ := mon.Flow(k)
 		share := 100 * float64(fs.Packets) / float64(mon.Packets)
 		fmt.Printf("  #%d %-40v pkts=%-7d (%.1f%%)  sketch=%d\n",
 			i+1, k, fs.Packets, share, mon.Sketch.Estimate(k))

@@ -31,6 +31,45 @@ type Processor interface {
 	CyclesPerPacket() float64
 }
 
+// BurstProcessor is the burst-native application contract: one virtual
+// dispatch per burst instead of one per packet, mirroring how DPDK apps
+// consume rte_eth_rx_burst output. verdicts is caller-owned scratch with
+// len(verdicts) >= len(ms); the processor fills verdicts[i] for ms[i] and
+// must allocate nothing per burst in steady state. The semantics are the
+// burst-unrolled equivalent of Process: same verdicts, same counters, same
+// frame mutations for the same input stream (equivalence is test-enforced
+// per application).
+type BurstProcessor interface {
+	Processor
+	// ProcessBurst handles ms[0:len(ms)] and writes one verdict per packet
+	// into verdicts. Implementations must not retain ms past the call.
+	ProcessBurst(ms []*mbuf.Mbuf, verdicts []Verdict)
+}
+
+// PerPacket adapts any Processor to the burst contract by paying one
+// virtual dispatch per packet — the compatibility shim the calibration
+// benchmarks compare the native burst paths against.
+type PerPacket struct{ P Processor }
+
+// Name implements Processor.
+func (s PerPacket) Name() string { return s.P.Name() }
+
+// CyclesPerPacket implements Processor.
+func (s PerPacket) CyclesPerPacket() float64 { return s.P.CyclesPerPacket() }
+
+// Process implements Processor.
+func (s PerPacket) Process(m *mbuf.Mbuf) Verdict { return s.P.Process(m) }
+
+// ProcessBurst implements BurstProcessor the slow way: one interface call
+// per packet.
+func (s PerPacket) ProcessBurst(ms []*mbuf.Mbuf, verdicts []Verdict) {
+	for i, m := range ms {
+		verdicts[i] = s.P.Process(m)
+	}
+}
+
+var _ BurstProcessor = PerPacket{}
+
 // ServiceRate converts a processor's cycle cost into a service rate µ
 // (packets/second) at the given core frequency in GHz.
 func ServiceRate(p Processor, freqGHz float64) float64 {

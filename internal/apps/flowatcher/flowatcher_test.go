@@ -32,14 +32,15 @@ func TestExactCountsMatchOffered(t *testing.T) {
 		t.Fatalf("packets = %d", m.Packets)
 	}
 	var total int64
-	for _, fs := range m.Flows {
+	m.Range(func(_ packet.FlowKey, fs *FlowStats) bool {
 		total += fs.Packets
-	}
+		return true
+	})
 	if total != 5000 {
 		t.Fatalf("per-flow sum = %d", total)
 	}
-	if len(m.Flows) != 8 {
-		t.Fatalf("flows = %d, want 8", len(m.Flows))
+	if m.FlowCount() != 8 {
+		t.Fatalf("flows = %d, want 8", m.FlowCount())
 	}
 }
 
@@ -57,8 +58,8 @@ func TestFlowStatsFields(t *testing.T) {
 		b.SetFrame(f)
 		m.Process(b)
 	}
-	fs := m.Flows[k]
-	if fs == nil {
+	fs, ok := m.Flow(k)
+	if !ok {
 		t.Fatal("flow missing")
 	}
 	if fs.Packets != 3 || fs.Bytes != 64+128+96 {
@@ -79,11 +80,12 @@ func TestSketchNeverUndercounts(t *testing.T) {
 	m := New()
 	gen := traffic.NewFrameGen(2, 32, 64)
 	feed(t, m, gen, 20000)
-	for k, fs := range m.Flows {
+	m.Range(func(k packet.FlowKey, fs *FlowStats) bool {
 		if est := m.Sketch.Estimate(k); int64(est) < fs.Packets {
 			t.Fatalf("sketch undercounts %v: %d < %d", k, est, fs.Packets)
 		}
-	}
+		return true
+	})
 }
 
 func TestSketchAccuracyAtScale(t *testing.T) {
@@ -91,12 +93,13 @@ func TestSketchAccuracyAtScale(t *testing.T) {
 	m := New()
 	gen := traffic.NewFrameGen(3, 32, 64)
 	feed(t, m, gen, 20000)
-	for k, fs := range m.Flows {
+	m.Range(func(k packet.FlowKey, fs *FlowStats) bool {
 		est := int64(m.Sketch.Estimate(k))
 		if est > fs.Packets+fs.Packets/10+5 {
 			t.Fatalf("sketch grossly overcounts: %d vs %d", est, fs.Packets)
 		}
-	}
+		return true
+	})
 }
 
 func TestTopKOrdering(t *testing.T) {
@@ -117,11 +120,47 @@ func TestTopKOrdering(t *testing.T) {
 	if len(top) != 2 {
 		t.Fatalf("topk len = %d", len(top))
 	}
-	if m.Flows[top[0]].Packets != 50 || m.Flows[top[1]].Packets != 30 {
-		t.Errorf("topk order wrong: %d, %d", m.Flows[top[0]].Packets, m.Flows[top[1]].Packets)
+	fs0, _ := m.Flow(top[0])
+	fs1, _ := m.Flow(top[1])
+	if fs0.Packets != 50 || fs1.Packets != 30 {
+		t.Errorf("topk order wrong: %d, %d", fs0.Packets, fs1.Packets)
 	}
 	if got := m.TopK(10); len(got) != 3 {
 		t.Errorf("topk clamping: %d", len(got))
+	}
+	if got := m.TopK(0); len(got) != 0 {
+		t.Errorf("topk(0): %d", len(got))
+	}
+}
+
+// Equal counts must order by ascending key — the deterministic tie-break
+// the rendering paths rely on — and repeated calls must agree (the
+// selection buffer is reused across calls).
+func TestTopKTieBreakAndReuse(t *testing.T) {
+	m := New()
+	pool := mbuf.NewPool(2)
+	b, _ := pool.Get()
+	defer b.Free()
+	frameBuf := make([]byte, 2048)
+	for _, src := range []int{5, 3, 9, 1} {
+		f, _ := packet.BuildUDP(frameBuf, 64, packet.Addr(src), 7, 100, 200)
+		b.SetFrame(f)
+		m.Process(b)
+	}
+	first := m.TopK(3)
+	for i := 1; i < len(first); i++ {
+		if !first[i-1].Less(first[i]) {
+			t.Fatalf("tie-break not ascending at %d: %v then %v", i, first[i-1], first[i])
+		}
+	}
+	if first[0].Src != 1 || first[1].Src != 3 || first[2].Src != 5 {
+		t.Fatalf("unexpected tie order: %v", first)
+	}
+	again := m.TopK(3)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("TopK not stable across calls at %d", i)
+		}
 	}
 }
 
@@ -151,7 +190,8 @@ func TestUnbalancedMixStatistics(t *testing.T) {
 	if top[0] != heavy {
 		t.Fatal("heavy hitter not identified")
 	}
-	share := float64(m.Flows[heavy].Packets) / float64(n)
+	fs, _ := m.Flow(heavy)
+	share := float64(fs.Packets) / float64(n)
 	if share < 0.28 || share > 0.32 {
 		t.Errorf("heavy share = %v, want ~0.30", share)
 	}
@@ -175,6 +215,38 @@ func TestServiceRateCalibration(t *testing.T) {
 	mu := apps.ServiceRate(New(), 2.1)
 	if mu < 27e6 || mu > 29e6 {
 		t.Errorf("flowatcher service rate = %v, want ~28 Mpps", mu)
+	}
+}
+
+// The arena must hand back stable, distinct slots across block boundaries.
+func TestFlowTableArenaStability(t *testing.T) {
+	tab := newFlowTable()
+	const flows = 3*blockLen + 17
+	ptrs := make([]*FlowStats, flows)
+	for i := 0; i < flows; i++ {
+		k := packet.FlowKey{Src: packet.Addr(i), Proto: packet.ProtoUDP}
+		fs, isNew := tab.get(k)
+		if !isNew {
+			t.Fatalf("flow %d reported as existing", i)
+		}
+		fs.Packets = int64(i)
+		ptrs[i] = fs
+	}
+	if tab.Len() != flows {
+		t.Fatalf("len = %d, want %d", tab.Len(), flows)
+	}
+	for i := 0; i < flows; i++ {
+		k := packet.FlowKey{Src: packet.Addr(i), Proto: packet.ProtoUDP}
+		fs, ok := tab.Flow(k)
+		if !ok {
+			t.Fatalf("flow %d missing", i)
+		}
+		if fs != ptrs[i] {
+			t.Fatalf("flow %d slot moved", i)
+		}
+		if fs.Packets != int64(i) {
+			t.Fatalf("flow %d data lost: %d", i, fs.Packets)
+		}
 	}
 }
 

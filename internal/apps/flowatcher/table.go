@@ -1,0 +1,155 @@
+package flowatcher
+
+import (
+	"sort"
+
+	"metronome/internal/packet"
+)
+
+// The arena geometry: FlowStats live in fixed-size blocks so the table can
+// hold millions of flows without per-flow pointer churn. The index map is
+// FlowKey -> int32 slot id — both sides pointer-free, so the GC never scans
+// the table's buckets — and the blocks are pointer-free arrays the GC skips
+// too. Blocks never move once allocated (only the slice of block headers
+// grows), so *FlowStats handed out by Flow/Range stay valid for the table's
+// lifetime.
+const (
+	blockShift = 12 // 4096 flows per block (1 MiB of FlowStats)
+	blockLen   = 1 << blockShift
+	blockMask  = blockLen - 1
+)
+
+// FlowTable is the arena-backed exact-counter flow table: a pointer-free
+// index map over block-allocated FlowStats. The zero value is not usable;
+// Monitor constructs its own.
+type FlowTable struct {
+	idx    map[packet.FlowKey]int32
+	blocks [][]FlowStats
+}
+
+func newFlowTable() FlowTable {
+	return FlowTable{idx: make(map[packet.FlowKey]int32)}
+}
+
+// Len returns the number of distinct flows.
+func (t *FlowTable) Len() int { return len(t.idx) }
+
+func (t *FlowTable) at(id int32) *FlowStats {
+	return &t.blocks[id>>blockShift][id&blockMask]
+}
+
+// Flow returns the stats of flow k, valid for the table's lifetime.
+func (t *FlowTable) Flow(k packet.FlowKey) (*FlowStats, bool) {
+	id, ok := t.idx[k]
+	if !ok {
+		return nil, false
+	}
+	return t.at(id), true
+}
+
+// get returns the slot of flow k, creating it (zeroed) on first sight;
+// isNew reports creation. Flows are never deleted, so len(idx) is the next
+// free arena slot.
+func (t *FlowTable) get(k packet.FlowKey) (fs *FlowStats, isNew bool) {
+	if id, ok := t.idx[k]; ok {
+		return t.at(id), false
+	}
+	id := int32(len(t.idx))
+	if int(id)>>blockShift == len(t.blocks) {
+		t.blocks = append(t.blocks, make([]FlowStats, blockLen))
+	}
+	t.idx[k] = id
+	return t.at(id), true
+}
+
+// Range calls fn for every flow until it returns false. Iteration order is
+// the map's (randomised); deterministic reporting goes through TopK.
+func (t *FlowTable) Range(fn func(k packet.FlowKey, fs *FlowStats) bool) {
+	for k, id := range t.idx {
+		if !fn(k, t.at(id)) {
+			return
+		}
+	}
+}
+
+// flowRef is one candidate in a top-k selection.
+type flowRef struct {
+	key     packet.FlowKey
+	packets int64
+}
+
+// better reports whether a outranks b: more packets first, the numerically
+// smaller key on ties (the allocation-free replacement for the String()
+// comparison the old full sort paid per element).
+func better(a, b flowRef) bool {
+	if a.packets != b.packets {
+		return a.packets > b.packets
+	}
+	return a.key.Less(b.key)
+}
+
+// topSel is a reusable bounded selection heap: offer every candidate, read
+// the k best in rank order. It is a min-heap on better — the root is the
+// worst kept candidate, evicted whenever a better one arrives — so selection
+// is O(F log k) over F flows instead of the O(F log F) full sort, and the
+// buffer is reused across calls.
+type topSel struct {
+	k    int
+	heap []flowRef
+}
+
+func (s *topSel) reset(k int) {
+	s.k = k
+	if cap(s.heap) < k {
+		s.heap = make([]flowRef, 0, k)
+	}
+	s.heap = s.heap[:0]
+}
+
+// worse orders the heap: the root floats the candidate that better ranks
+// last.
+func (s *topSel) worse(i, j int) bool { return better(s.heap[j], s.heap[i]) }
+
+func (s *topSel) offer(r flowRef) {
+	if s.k == 0 {
+		return
+	}
+	if len(s.heap) < s.k {
+		s.heap = append(s.heap, r)
+		for i := len(s.heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !s.worse(i, parent) {
+				break
+			}
+			s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+			i = parent
+		}
+		return
+	}
+	if !better(r, s.heap[0]) {
+		return
+	}
+	s.heap[0] = r
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		w := i
+		if l < len(s.heap) && s.worse(l, w) {
+			w = l
+		}
+		if rr < len(s.heap) && s.worse(rr, w) {
+			w = rr
+		}
+		if w == i {
+			return
+		}
+		s.heap[i], s.heap[w] = s.heap[w], s.heap[i]
+		i = w
+	}
+}
+
+// sorted orders the kept candidates best-first, in place.
+func (s *topSel) sorted() []flowRef {
+	sort.Slice(s.heap, func(i, j int) bool { return better(s.heap[i], s.heap[j]) })
+	return s.heap
+}

@@ -79,6 +79,51 @@ func (f *Forwarder) Process(m *mbuf.Mbuf) apps.Verdict {
 	return apps.Forward
 }
 
+// ProcessBurst implements apps.BurstProcessor natively: the per-packet path
+// decodes every layer into a ~140-byte Parsed (zeroed per call) and pays an
+// interface dispatch per packet; the burst path walks the raw header offsets
+// via packet.ParseLite — reading only the ethertype, version/IHL, TotalLen,
+// TTL, addresses and ports the forwarder branches on — and dispatches once
+// per burst. Verdicts, counters and frame mutations are byte-identical to
+// Process on any input stream (test-enforced), and the loop allocates
+// nothing.
+func (f *Forwarder) ProcessBurst(ms []*mbuf.Mbuf, verdicts []apps.Verdict) {
+	for i, m := range ms {
+		frame := m.Bytes()
+		var l packet.Lite
+		if err := packet.ParseLite(frame, &l); err != nil {
+			f.Malformed++
+			verdicts[i] = apps.Drop
+			continue
+		}
+		if l.TTL <= 1 {
+			f.Expired++
+			verdicts[i] = apps.Drop
+			continue
+		}
+		hop, ok := f.Table.Lookup(l.Key.Dst)
+		if !ok || int(hop) >= len(f.Ports) {
+			f.NoRoute++
+			verdicts[i] = apps.Drop
+			continue
+		}
+		port := &f.Ports[hop]
+		copy(frame[0:6], port.GwMAC[:])
+		copy(frame[6:12], port.MAC[:])
+		ipOff := packet.EthHeaderLen
+		old := binary.BigEndian.Uint16(frame[ipOff+8 : ipOff+10])
+		frame[ipOff+8]--
+		newv := binary.BigEndian.Uint16(frame[ipOff+8 : ipOff+10])
+		csum := binary.BigEndian.Uint16(frame[ipOff+10 : ipOff+12])
+		binary.BigEndian.PutUint16(frame[ipOff+10:ipOff+12], incrementalChecksum(csum, old, newv))
+
+		m.Key = l.Key
+		m.Meta = uint64(hop)
+		f.Forwarded++
+		verdicts[i] = apps.Forward
+	}
+}
+
 // incrementalChecksum applies RFC 1624 eq. 3: HC' = ~(~HC + ~m + m').
 func incrementalChecksum(hc, oldField, newField uint16) uint16 {
 	sum := uint32(^hc) + uint32(^oldField) + uint32(newField)
@@ -88,4 +133,4 @@ func incrementalChecksum(hc, oldField, newField uint16) uint16 {
 	return ^uint16(sum)
 }
 
-var _ apps.Processor = (*Forwarder)(nil)
+var _ apps.BurstProcessor = (*Forwarder)(nil)

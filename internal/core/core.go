@@ -203,6 +203,12 @@ type Runtime struct {
 	locked      []bool
 	lastRelease []float64
 
+	// Per-queue occupancy-integral checkpoints: finishCycle publishes the
+	// time-averaged occupancy of the window since the previous checkpoint,
+	// (OccIntegral delta) / dt — the alias-free occupancy gauge.
+	occIntLast []float64
+	occIntAt   []float64
+
 	// Counters matching the paper's metrics.
 	Tries     stats.Counter // trylock attempts
 	BusyTries stats.Counter // failed attempts (queue already owned)
@@ -246,7 +252,7 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 	// slices are independent views, the allocator sees three makes instead
 	// of seven (the alloc gate in BENCH_simulate.json counts them).
 	qcounts := make([]int64, 3*n)
-	qfloats := make([]float64, 2*n)
+	qfloats := make([]float64, 4*n)
 	r := &Runtime{
 		Cfg:            cfg,
 		Eng:            eng,
@@ -256,6 +262,8 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 		locked:         make([]bool, n),
 		lastRelease:    qfloats[0:n:n],
 		provisionedQ:   qfloats[n : 2*n : 2*n],
+		occIntLast:     qfloats[2*n : 3*n : 3*n],
+		occIntAt:       qfloats[3*n : 4*n : 4*n],
 		TriesQ:         qcounts[0:n:n],
 		BusyTriesQ:     qcounts[n : 2*n : 2*n],
 		CyclesQ:        qcounts[2*n : 3*n : 3*n],
@@ -686,6 +694,14 @@ func (r *Runtime) finishCycle(th *thread) {
 	if r.bus != nil {
 		queue := r.Queues[q]
 		r.bus.SetOccupancy(q, 0) // drained by construction of EndService
+		if dt := now - r.occIntAt[q]; dt > 0 {
+			// EndService just accrued the fluid model's occupancy integral
+			// up to now, so the cycle-window average is exact here.
+			integ := queue.OccIntegral()
+			r.bus.SetOccAvg(q, (integ-r.occIntLast[q])/dt)
+			r.occIntLast[q] = integ
+			r.occIntAt[q] = now
+		}
 		r.bus.SetRho(q, r.policy.Rho(q))
 		r.bus.SetDrops(q, uint64(queue.Drops))
 		r.bus.SetRx(q, uint64(queue.RxPackets))

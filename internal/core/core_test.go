@@ -10,6 +10,7 @@ import (
 	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/stats"
+	"metronome/internal/telemetry"
 	"metronome/internal/traffic"
 	"metronome/internal/xrand"
 )
@@ -500,5 +501,29 @@ func TestRMetronomeMembersReturnHome(t *testing.T) {
 	}
 	if m := r.Snapshot(0.05); m.LossRate > 0.05 {
 		t.Errorf("loss = %v under a modest hot queue", m.LossRate)
+	}
+}
+
+func TestBusPublishesTimeAveragedOccupancy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.Bus = telemetry.NewBus(1, cfg.M)
+	eng := sim.New()
+	q := nic.NewQueue(0, traffic.CBR{PPS: 7e6}, xrand.New(9), nic.DefaultOptions())
+	r := New(eng, []*nic.Queue{q}, cfg)
+	r.Start()
+	eng.RunUntil(0.01)
+	avg := cfg.Bus.OccAvg(0)
+	if avg <= 0 {
+		t.Fatalf("no time-averaged occupancy published: %v", avg)
+	}
+	if avg >= float64(q.Opt.Cap) {
+		t.Fatalf("averaged occupancy %v exceeds ring capacity", avg)
+	}
+	// The cycle-window average must agree with the queue's own integral over
+	// the run to the right order: both derive from the same fluid model.
+	runAvg := q.OccIntegral() / 0.01
+	if avg > 50*runAvg+1 {
+		t.Errorf("published average %v wildly above run average %v", avg, runAvg)
 	}
 }

@@ -121,6 +121,16 @@ type Config struct {
 	// Only the feedback error feeds the integral — feedforward cannot wind
 	// it up, so a crested ramp unwinds at the plain PI rate.
 	SlopeGain float64
+	// AvgOcc switches the occupancy input of the size and placement laws
+	// from the point-in-time gauge to the substrate's time-averaged gauge
+	// (telemetry OccAvg: the occupancy integral over the publisher's
+	// accounting window in the sim, a time-constant EWMA in the live
+	// runtime). The point gauge aliases on Metronome's cycle phase — it
+	// reads N_V at a wake and zero right after a release — which is why the
+	// controller layers its own EWMA on top; the averaged gauge removes the
+	// alias at the source. Default off: the shipped fig-elastic and
+	// fig-placement tunings were calibrated against the point gauge.
+	AvgOcc bool
 	// SlopeAlpha is the EWMA smoothing of the per-queue occupancy signals
 	// (default 0.25). It governs BOTH smoothed views of the sampled
 	// occupancy: the slope EWMA the feedforward reads (republished to the
@@ -334,6 +344,14 @@ func (c *Controller) Tick(now float64) Decision {
 		if d := c.snap.Drops[q]; d >= c.prevDrops[q] {
 			lossDelta += d - c.prevDrops[q]
 		}
+		if dt > 0 {
+			// Republish the measured per-queue arrival rate (Rx delta over
+			// the control window) as a gauge: the signal dashboards and
+			// feedforward consumers read without re-deriving counter deltas.
+			if rx := c.snap.Rx[q]; rx >= c.prevRx[q] {
+				c.bus.SetArrivalRate(q, float64(rx-c.prevRx[q])/dt)
+			}
+		}
 		// A counter that moved backwards was reset (warm-up window
 		// alignment); resync silently.
 		c.prevDrops[q] = c.snap.Drops[q]
@@ -405,12 +423,17 @@ func (c *Controller) Tick(now float64) Decision {
 }
 
 // occFraction reads queue q's sampled occupancy as a fraction of its ring
-// capacity (zero when the capacity was never published).
+// capacity (zero when the capacity was never published). With AvgOcc set it
+// reads the substrate's time-averaged gauge instead of the point sample.
 func (c *Controller) occFraction(q int) float64 {
-	if cp := c.snap.Cap[q]; cp > 0 {
-		return c.snap.Occ[q] / cp
+	cp := c.snap.Cap[q]
+	if cp <= 0 {
+		return 0
 	}
-	return 0
+	if c.cfg.AvgOcc {
+		return c.snap.OccAvg[q] / cp
+	}
+	return c.snap.Occ[q] / cp
 }
 
 // actuate applies a new team total through the placement plane when the

@@ -414,3 +414,50 @@ func TestReportAccountsThreadSeconds(t *testing.T) {
 		t.Fatalf("reset window still holds %.6f thread-seconds", rep.ThreadSeconds)
 	}
 }
+
+func TestArrivalRateGaugePublished(t *testing.T) {
+	bus, _, c := newRig(2, 8)
+	c.Tick(0) // calibration tick baselines the Rx counters
+	bus.SetRx(0, 5000)
+	bus.SetRx(1, 1000)
+	c.Tick(0.001)
+	if got, want := bus.ArrivalRate(0), 5000.0/0.001; got != want {
+		t.Errorf("queue 0 arrival rate = %v, want %v", got, want)
+	}
+	if got, want := bus.ArrivalRate(1), 1000.0/0.001; got != want {
+		t.Errorf("queue 1 arrival rate = %v, want %v", got, want)
+	}
+	// Next window at a different rate: the gauge tracks the delta, not the
+	// cumulative counter.
+	bus.SetRx(0, 5500)
+	c.Tick(0.002)
+	if got, want := bus.ArrivalRate(0), 500.0/0.001; got != want {
+		t.Errorf("second-window rate = %v, want %v", got, want)
+	}
+}
+
+func TestAvgOccSignalSwitch(t *testing.T) {
+	// With AvgOcc the controller must read the time-averaged gauge and
+	// ignore the point sample entirely.
+	bus := telemetry.NewBus(2, 8)
+	bus.SetCapacity(0, 4096)
+	bus.SetCapacity(1, 4096)
+	team := &fakeTeam{size: 2, floor: 2}
+	cfg := DefaultConfig(2, 8)
+	cfg.AvgOcc = true
+	c := New(bus, team, cfg)
+	c.Tick(0)
+	// Point gauge screams, averaged gauge is calm: no growth.
+	bus.SetOccupancy(1, 0.9*4096)
+	bus.SetOccAvg(1, 0.05*4096)
+	d := c.Tick(0.001)
+	if d.Resized {
+		t.Fatalf("grew on the point gauge despite AvgOcc: %+v", d)
+	}
+	// Averaged gauge spikes: growth.
+	bus.SetOccAvg(1, 0.5*4096)
+	d = c.Tick(0.002)
+	if d.Applied <= 2 {
+		t.Fatalf("no growth on averaged-occupancy spike: %+v", d)
+	}
+}

@@ -59,8 +59,9 @@ type Queue struct {
 	Rng  *xrand.Rand
 
 	// occupancy state
-	upTo float64 // arrivals integrated up to this time
-	occ  float64 // packets buffered at upTo
+	upTo   float64 // arrivals integrated up to this time
+	occ    float64 // packets buffered at upTo
+	occInt float64 // time integral of occupancy (packet-seconds) up to upTo
 
 	// cycle state
 	serving      bool
@@ -110,8 +111,12 @@ func (q *Queue) syncIdle(t float64) {
 	if t <= q.upTo {
 		return
 	}
+	old := q.occ
 	n := float64(q.Proc.CountIn(q.upTo, t, q.Rng))
 	q.addArrivals(n)
+	// Fluid view: occupancy grew linearly from old to occ over the window,
+	// so the trapezoid is the exact integral contribution.
+	q.occInt += (old + q.occ) / 2 * (t - q.upTo)
 	q.upTo = t
 }
 
@@ -205,6 +210,7 @@ func (q *Queue) ServeSlice(maxDur float64) (done bool, end float64) {
 		panic("nic: ServeSlice while idle")
 	}
 	t0 := q.serveT
+	occ0 := q.occ
 	lambda := q.Proc.Rate(t0)
 	var dt float64
 	if q.mu > lambda {
@@ -269,6 +275,9 @@ func (q *Queue) ServeSlice(maxDur float64) (done bool, end float64) {
 		q.servedAcc -= n
 		q.Served += int64(n)
 	}
+	// Within a slice the occupancy moves at a constant net rate (or drains
+	// linearly to zero), so the trapezoid over the slice is exact.
+	q.occInt += (occ0 + q.occ) / 2 * dt
 	q.serveT = end
 	q.upTo = end
 	return done, end
@@ -306,6 +315,9 @@ func (q *Queue) EndService(t float64) {
 	q.serving = false
 	q.vacStart = t
 	if t > q.upTo {
+		// Constant occupancy across the tail gap, then the close-out zeroes
+		// it at t.
+		q.occInt += q.occ * (t - q.upTo)
 		q.upTo = t
 	}
 	q.occ = 0
@@ -319,6 +331,16 @@ func (q *Queue) Reset(t float64) {
 	q.Lat = stats.Sample{}
 	_ = t
 }
+
+// OccIntegral returns the cumulative time integral of occupancy in
+// packet-seconds, exact as of the last state-advancing call (BeginService,
+// ServeSlice, EndService or an idle Occupancy probe). Dividing a delta of
+// this integral by the window length yields the true time-averaged
+// occupancy over the window — free of the sampling alias a point probe
+// suffers, since Metronome's cycle structure pins point samples to the
+// cycle phase the prober happens to run in. The integral survives Reset
+// (observers difference it, so the epoch does not matter).
+func (q *Queue) OccIntegral() float64 { return q.occInt }
 
 // LossRate returns the drop fraction of offered packets.
 func (q *Queue) LossRate() float64 {

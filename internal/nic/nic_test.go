@@ -304,3 +304,59 @@ func TestResetClearsStats(t *testing.T) {
 		t.Error("reset incomplete")
 	}
 }
+
+func TestOccIntegralIdleAndDrain(t *testing.T) {
+	// CBR 1 Mpps: occupancy grows linearly 0 -> 100 over the first 100us,
+	// so the idle integral is 100 * 100us / 2 packet-seconds. The drain then
+	// runs occupancy 100 -> 0 linearly over NV/(mu-lambda).
+	q := newQ(1e6, DefaultOptions())
+	nv := q.BeginService(100*us, 10e6)
+	idleInt := nv * 100 * us / 2
+	if got := q.OccIntegral(); math.Abs(got-idleInt) > idleInt*0.05 {
+		t.Errorf("idle integral = %v, want ~%v", got, idleInt)
+	}
+	done, end := q.ServeSlice(1)
+	if !done {
+		t.Fatal("drain did not finish")
+	}
+	q.EndService(end)
+	drainInt := nv * (end - 100*us) / 2
+	want := idleInt + drainInt
+	if got := q.OccIntegral(); math.Abs(got-want) > want*0.05 {
+		t.Errorf("integral after drain = %v, want ~%v", got, want)
+	}
+	// The integral is cumulative and monotone: another idle window adds
+	// lambda*dt^2/2.
+	q.Occupancy(end + 50*us)
+	extra := 1e6 * (50 * us) * (50 * us) / 2
+	if got := q.OccIntegral(); math.Abs(got-(want+extra)) > (want+extra)*0.05 {
+		t.Errorf("integral after second vacation = %v, want ~%v", got, want+extra)
+	}
+}
+
+func TestOccIntegralGranularityInvariant(t *testing.T) {
+	// The trapezoid accrual must not depend on how often the fluid state is
+	// probed: a CBR queue probed every 1us and one probed once must agree.
+	fine := newQ(2e6, DefaultOptions())
+	coarse := newQ(2e6, DefaultOptions())
+	for i := 1; i <= 100; i++ {
+		fine.Occupancy(float64(i) * us)
+	}
+	coarse.Occupancy(100 * us)
+	if f, c := fine.OccIntegral(), coarse.OccIntegral(); math.Abs(f-c) > c*0.02+1e-12 {
+		t.Errorf("integral depends on probe granularity: fine=%v coarse=%v", f, c)
+	}
+}
+
+func TestOccIntegralSurvivesReset(t *testing.T) {
+	q := newQ(1e6, DefaultOptions())
+	q.Occupancy(100 * us)
+	before := q.OccIntegral()
+	if before <= 0 {
+		t.Fatal("no integral accrued")
+	}
+	q.Reset(100 * us)
+	if q.OccIntegral() != before {
+		t.Errorf("Reset changed the integral: %v -> %v", before, q.OccIntegral())
+	}
+}

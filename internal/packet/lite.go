@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrOptions rejects IPv4 headers carrying options. Parse builds a
+// descriptive error for the same frames; the fast path returns this
+// allocation-free sentinel because it runs per packet inside a burst.
+var ErrOptions = errors.New("packet: IPv4 options unsupported")
+
+// Lite is the header view the burst fast paths touch: the 5-tuple key plus
+// the two IPv4 fields the forwarding apps branch on. Everything else stays
+// on the wire.
+type Lite struct {
+	Key      FlowKey
+	TTL      uint8
+	TotalLen uint16
+}
+
+// ParseLite is the raw-offset header walk behind the native ProcessBurst
+// implementations: it reads only the fields in Lite instead of decoding
+// every layer into a Parsed, but accepts and rejects EXACTLY the frames
+// Parse does (the taxonomy the per-packet/burst equivalence tests pin
+// down — a frame is malformed on one path iff it is on the other). Error
+// identities may differ (ErrOptions vs Parse's formatted error); verdicts
+// only depend on error presence.
+func ParseLite(frame []byte, l *Lite) error {
+	if len(frame) < EthHeaderLen {
+		return ErrTooShort
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return ErrBadVersion
+	}
+	l3 := frame[EthHeaderLen:]
+	if len(l3) < IPv4HeaderLen {
+		return ErrTooShort
+	}
+	vihl := l3[0]
+	if vihl>>4 != 4 {
+		return ErrBadVersion
+	}
+	if vihl&0x0f != IPv4HeaderLen/4 {
+		return ErrOptions
+	}
+	totalLen := binary.BigEndian.Uint16(l3[2:4])
+	if int(totalLen) < IPv4HeaderLen || int(totalLen) > len(l3) {
+		return ErrBadLength
+	}
+	l.TTL = l3[8]
+	proto := l3[9]
+	l.TotalLen = totalLen
+	l.Key = FlowKey{
+		Src:   Addr(binary.BigEndian.Uint32(l3[12:16])),
+		Dst:   Addr(binary.BigEndian.Uint32(l3[16:20])),
+		Proto: proto,
+	}
+	l4 := l3[IPv4HeaderLen:totalLen]
+	switch proto {
+	case ProtoUDP:
+		if len(l4) < UDPHeaderLen {
+			return ErrTooShort
+		}
+		if binary.BigEndian.Uint16(l4[4:6]) < UDPHeaderLen {
+			return ErrBadLength
+		}
+		l.Key.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		l.Key.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	case ProtoTCP:
+		if len(l4) < TCPHeaderLen {
+			return ErrTooShort
+		}
+		if off := int(l4[12]>>4) * 4; off < TCPHeaderLen || off > len(l4) {
+			return ErrBadLength
+		}
+		l.Key.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		l.Key.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	}
+	return nil
+}
+
+// Less orders flow keys numerically (Src, Dst, SrcPort, DstPort, Proto) —
+// the allocation-free deterministic tie-break the reporting paths use
+// where they previously compared String() renderings.
+func (k FlowKey) Less(o FlowKey) bool {
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	if k.Dst != o.Dst {
+		return k.Dst < o.Dst
+	}
+	if k.SrcPort != o.SrcPort {
+		return k.SrcPort < o.SrcPort
+	}
+	if k.DstPort != o.DstPort {
+		return k.DstPort < o.DstPort
+	}
+	return k.Proto < o.Proto
+}

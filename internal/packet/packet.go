@@ -311,6 +311,9 @@ func (p *Parsed) Parse(frame []byte) error {
 		if err := p.TCP.DecodeFromBytes(l4); err != nil {
 			return err
 		}
+		if int(p.TCP.DataOff)*4 > len(l4) {
+			return ErrBadLength // header claims more bytes than the datagram holds
+		}
 		p.Key.SrcPort, p.Key.DstPort = p.TCP.SrcPort, p.TCP.DstPort
 		p.HasL4 = true
 		p.Payload = l4[int(p.TCP.DataOff)*4:]

@@ -7,10 +7,12 @@ package runtime
 
 import (
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"metronome/internal/apps"
 	"metronome/internal/hrtimer"
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
@@ -116,6 +118,19 @@ func NewRxRing(capacity, producers, consumers int) (RxRing, error) {
 // pool's producer side.
 type Handler func(batch []*mbuf.Mbuf)
 
+// EmitFunc disposes of a served burst in the processor path: ms[i] carries
+// verdicts[i] (Forward packets have been rewritten in place). The emit owns
+// the mbufs — it must Free them or hand them on — and the verdict slice is
+// only valid until it returns (the retrieval goroutine reuses it).
+type EmitFunc func(q int, ms []*mbuf.Mbuf, verdicts []apps.Verdict)
+
+// FreeAll is the default EmitFunc: recycle every mbuf into its pool.
+func FreeAll(q int, ms []*mbuf.Mbuf, verdicts []apps.Verdict) {
+	for _, m := range ms {
+		m.Free()
+	}
+}
+
 // Config tunes the runner; zero fields take the paper's defaults.
 type Config struct {
 	// M is the number of retrieval goroutines (default 3).
@@ -197,12 +212,15 @@ type queueState struct {
 type Runner struct {
 	cfg     Config
 	queues  []RxQueue
-	handler Handler
+	handler Handler               // generic burst path (New)
+	procs   []apps.BurstProcessor // per-queue application path (NewProc)
+	emit    EmitFunc              // burst disposal for the processor path
 	policy  sched.Policy
 	group   sched.GroupPolicy // non-nil when the policy binds service groups
 	dephase sched.Dephaser    // non-nil when the policy staggers group wakes
 	bus     *telemetry.Bus    // nil unless Config.Bus
 	lens    []func() int      // per-queue occupancy probes (nil if unknowable)
+	occAt   []atomic.Int64    // per-queue nanotime of the last OccAvg fold
 	state   []queueState
 	Stats   Stats
 
@@ -224,11 +242,42 @@ type Runner struct {
 // New builds a runner. It panics on an empty queue set or nil handler —
 // both are programming errors, not runtime conditions.
 func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
-	if len(queues) == 0 {
-		panic("runtime: no queues")
-	}
 	if handler == nil {
 		panic("runtime: nil handler")
+	}
+	return newRunner(queues, handler, nil, nil, cfg)
+}
+
+// NewProc builds a runner on the burst-native application path: queue q's
+// drains go straight to procs[q].ProcessBurst — one virtual dispatch per
+// burst, verdicts written into a retrieval-goroutine-owned buffer, zero
+// allocations per burst — and then to emit for disposal. A nil emit
+// defaults to FreeAll (recycle into the pool).
+//
+// One processor per queue is the sharding contract: the per-queue trylock
+// serialises every drain of queue q, so procs[q] is single-writer and needs
+// no locks even though M goroutines share the queue set (flowatcher.Sharded
+// leans on exactly this). Passing the same processor for every queue is
+// also fine when it is internally synchronised or the deployment is
+// single-queue.
+func NewProc(queues []RxQueue, procs []apps.BurstProcessor, emit EmitFunc, cfg Config) *Runner {
+	if len(procs) != len(queues) {
+		panic("runtime: len(procs) != len(queues)")
+	}
+	for _, p := range procs {
+		if p == nil {
+			panic("runtime: nil processor")
+		}
+	}
+	if emit == nil {
+		emit = FreeAll
+	}
+	return newRunner(queues, nil, procs, emit, cfg)
+}
+
+func newRunner(queues []RxQueue, handler Handler, procs []apps.BurstProcessor, emit EmitFunc, cfg Config) *Runner {
+	if len(queues) == 0 {
+		panic("runtime: no queues")
 	}
 	cfg.defaults()
 	if cfg.M < len(queues) {
@@ -246,6 +295,8 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 		cfg:     cfg,
 		queues:  queues,
 		handler: handler,
+		procs:   procs,
+		emit:    emit,
 		policy: sched.MustNew(name, sched.Config{
 			VBar:    cfg.VBar.Seconds(),
 			TL:      cfg.TL.Seconds(),
@@ -272,6 +323,7 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 		}
 	}
 	if r.bus != nil {
+		r.occAt = make([]atomic.Int64, len(queues))
 		for i, probe := range r.lens {
 			if cq, ok := queues[i].(interface{ Cap() int }); ok && probe != nil {
 				r.bus.SetCapacity(i, float64(cq.Cap()))
@@ -279,6 +331,35 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 		}
 	}
 	return r
+}
+
+// publishOcc samples queue q's occupancy probe into the bus: the point
+// gauge, plus a time-constant EWMA (tau = 8*VBar) as the time-averaged
+// gauge. The live substrate has no fluid integral, so the EWMA stands in:
+// it low-passes the cycle-phase alias that makes point samples read either
+// "just drained" or "full vacation's worth" depending on when the prober
+// runs. Concurrent publishers may interleave the read-modify-write — each
+// step is atomic and any lost fold only delays the average by one sample,
+// which the controller's own smoothing absorbs.
+func (r *Runner) publishOcc(q int, now int64) {
+	probe := r.lens[q]
+	if probe == nil {
+		return
+	}
+	occ := float64(probe())
+	r.bus.SetOccupancy(q, occ)
+	last := r.occAt[q].Swap(now)
+	if last == 0 {
+		r.bus.SetOccAvg(q, occ)
+		return
+	}
+	dt := time.Duration(now - last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	a := 1 - math.Exp(-dt/(8*r.cfg.VBar).Seconds())
+	avg := r.bus.OccAvg(q)
+	r.bus.SetOccAvg(q, avg+a*(occ-avg))
 }
 
 // Policy exposes the scheduling discipline driving this runner.
@@ -444,6 +525,12 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 	// TestThreadRNGStreamsDependOnQueueCount).
 	rng := xrand.New(xrand.SeedFrom(r.cfg.Seed, uint64(id), uint64(len(r.queues))))
 	buf := make([]*mbuf.Mbuf, r.cfg.Burst)
+	var verdicts []apps.Verdict
+	if r.procs != nil {
+		// The processor path's verdict buffer is goroutine-owned and reused
+		// for every burst — the steady state allocates nothing.
+		verdicts = make([]apps.Verdict, r.cfg.Burst)
+	}
 	q := id % len(r.queues)
 	var busyTotal time.Duration // cumulative on-CPU time, published as duty
 	for ctx.Err() == nil {
@@ -475,9 +562,7 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			r.Stats.BusyTries.Add(1)
 			if r.bus != nil {
 				r.bus.AddBusyTries(q, 1)
-				if probe := r.lens[q]; probe != nil {
-					r.bus.SetOccupancy(q, float64(probe()))
-				}
+				r.publishOcc(q, r.nanotime())
 			}
 			tl := r.policy.TL(q)
 			q = r.policy.PickBackupQueue(q, rng)
@@ -496,7 +581,12 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			if n == 0 {
 				break
 			}
-			r.handler(buf[:n])
+			if r.procs != nil {
+				r.procs[q].ProcessBurst(buf[:n], verdicts[:n])
+				r.emit(q, buf[:n], verdicts[:n])
+			} else {
+				r.handler(buf[:n])
+			}
 			r.Stats.Packets.Add(uint64(n))
 			r.Stats.Bursts.Add(1)
 			if r.bus != nil {
@@ -518,9 +608,7 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			busyTotal += busy
 			r.bus.SetRho(q, r.policy.Rho(q))
 			r.bus.SetThreadBusy(id, busyTotal.Seconds())
-			if probe := r.lens[q]; probe != nil {
-				r.bus.SetOccupancy(q, float64(probe()))
-			}
+			r.publishOcc(q, ended)
 		}
 
 		// Shared-queue disciplines keep service groups stable: a member

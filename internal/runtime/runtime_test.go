@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"metronome/internal/apps"
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
 	"metronome/internal/sched"
@@ -668,5 +669,168 @@ func TestRunnerImplementsElasticTeam(t *testing.T) {
 	wg.Wait()
 	if got := r.TeamSize(); got != 7 {
 		t.Fatalf("team after run %d, want 7", got)
+	}
+}
+
+// countProc is a minimal BurstProcessor: counts bursts/packets and stamps a
+// verdict derived from the frame so tests can check the emit contract.
+type countProc struct {
+	bursts, packets atomic.Int64
+}
+
+func (c *countProc) Name() string             { return "count" }
+func (c *countProc) CyclesPerPacket() float64 { return 1 }
+func (c *countProc) Process(m *mbuf.Mbuf) apps.Verdict {
+	c.packets.Add(1)
+	return verdictFor(m)
+}
+func (c *countProc) ProcessBurst(ms []*mbuf.Mbuf, verdicts []apps.Verdict) {
+	c.bursts.Add(1)
+	c.packets.Add(int64(len(ms)))
+	for i, m := range ms {
+		verdicts[i] = verdictFor(m)
+	}
+}
+
+// verdictFor smuggles the expected verdict in frame byte 0's low bit.
+func verdictFor(m *mbuf.Mbuf) apps.Verdict {
+	if m.Bytes()[0]&1 == 1 {
+		return apps.Drop
+	}
+	return apps.Forward
+}
+
+func TestProcRunnerDispatchesBursts(t *testing.T) {
+	bench := newBench(t, 2)
+	procs := []apps.BurstProcessor{&countProc{}, &countProc{}}
+	var emitted atomic.Int64
+	var badVerdicts atomic.Int64
+	emit := func(q int, ms []*mbuf.Mbuf, verdicts []apps.Verdict) {
+		if len(ms) != len(verdicts) {
+			t.Errorf("emit: %d mbufs, %d verdicts", len(ms), len(verdicts))
+		}
+		for i, m := range ms {
+			if verdicts[i] != verdictFor(m) {
+				badVerdicts.Add(1)
+			}
+			emitted.Add(1)
+			m.Free()
+		}
+	}
+	r := NewProc(bench.queues, procs, emit, Config{M: 3, VBar: 200 * time.Microsecond, Seed: 7})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	const n = 10000
+	sent := bench.produce(ctx, n)
+	deadline := time.Now().Add(5 * time.Second)
+	for emitted.Load() < int64(sent) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if emitted.Load() != int64(sent) {
+		t.Fatalf("emitted %d of %d", emitted.Load(), sent)
+	}
+	if badVerdicts.Load() != 0 {
+		t.Fatalf("%d verdicts did not match their packets", badVerdicts.Load())
+	}
+	var perProc int64
+	for _, p := range procs {
+		cp := p.(*countProc)
+		perProc += cp.packets.Load()
+		if cp.bursts.Load() == 0 {
+			t.Error("a queue's processor never ran")
+		}
+	}
+	if perProc != int64(sent) {
+		t.Fatalf("processors saw %d of %d packets", perProc, sent)
+	}
+	if got := r.Stats.Packets.Load(); got != uint64(sent) {
+		t.Fatalf("Stats.Packets = %d, want %d", got, sent)
+	}
+	if bench.pool.Available() != bench.pool.Size() {
+		t.Fatalf("pool leak: %d/%d", bench.pool.Available(), bench.pool.Size())
+	}
+}
+
+func TestProcRunnerDefaultEmitFrees(t *testing.T) {
+	bench := newBench(t, 1)
+	proc := &countProc{}
+	r := NewProc(bench.queues, []apps.BurstProcessor{proc}, nil, Config{M: 2, VBar: 100 * time.Microsecond, Seed: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	const n = 2000
+	sent := bench.produce(ctx, n)
+	deadline := time.Now().Add(5 * time.Second)
+	for proc.packets.Load() < int64(sent) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if proc.packets.Load() != int64(sent) {
+		t.Fatalf("processed %d of %d", proc.packets.Load(), sent)
+	}
+	// FreeAll recycled every mbuf.
+	if bench.pool.Available() != bench.pool.Size() {
+		t.Fatalf("pool leak: %d/%d", bench.pool.Available(), bench.pool.Size())
+	}
+}
+
+func TestNewProcValidation(t *testing.T) {
+	bench := newBench(t, 2)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("mismatched procs", func() {
+		NewProc(bench.queues, []apps.BurstProcessor{&countProc{}}, nil, Config{})
+	})
+	mustPanic("nil proc", func() {
+		NewProc(bench.queues, []apps.BurstProcessor{&countProc{}, nil}, nil, Config{})
+	})
+	mustPanic("no queues", func() {
+		NewProc(nil, nil, nil, Config{})
+	})
+}
+
+func TestBusPublishesOccAvgLive(t *testing.T) {
+	bench := newBench(t, 1)
+	bus := telemetry.NewBus(1, 4)
+	handler := func(batch []*mbuf.Mbuf) {
+		time.Sleep(100 * time.Microsecond) // slow consumer: occupancy builds
+		for _, m := range batch {
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{M: 3, VBar: 100 * time.Microsecond, Seed: 11, Bus: bus})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	deadline := time.Now().Add(3 * time.Second)
+	seen := false
+	for time.Now().Before(deadline) {
+		bench.produce(ctx, 512)
+		if bus.OccAvg(0) > 0 {
+			seen = true
+			break
+		}
+	}
+	cancel()
+	wg.Wait()
+	if !seen {
+		t.Fatal("live runner never published a time-averaged occupancy")
 	}
 }

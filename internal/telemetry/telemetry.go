@@ -42,9 +42,11 @@ type Bus struct {
 	nq, nt int
 
 	occ      []slot // per-queue occupancy in packets (gauge)
+	occAvg   []slot // per-queue time-averaged occupancy in packets (gauge)
 	capacity []slot // per-queue ring capacity in packets (gauge)
 	slope    []slot // per-queue occupancy slope in capacity fractions/s (gauge)
 	rho      []slot // per-queue load estimate (gauge)
+	rate     []slot // per-queue arrival rate in packets/s (gauge)
 	drops    []slot // per-queue dropped packets (counter)
 	rx       []slot // per-queue received packets (counter)
 	tries    []slot // per-queue trylock attempts (counter)
@@ -66,9 +68,11 @@ func NewBus(nQueues, maxThreads int) *Bus {
 		nq:       nQueues,
 		nt:       maxThreads,
 		occ:      make([]slot, nQueues),
+		occAvg:   make([]slot, nQueues),
 		capacity: make([]slot, nQueues),
 		slope:    make([]slot, nQueues),
 		rho:      make([]slot, nQueues),
+		rate:     make([]slot, nQueues),
 		drops:    make([]slot, nQueues),
 		rx:       make([]slot, nQueues),
 		tries:    make([]slot, nQueues),
@@ -88,6 +92,17 @@ func (b *Bus) SetOccupancy(q int, pkts float64) { b.occ[q].storeF(pkts) }
 
 // Occupancy returns the last published occupancy of queue q.
 func (b *Bus) Occupancy(q int) float64 { return b.occ[q].loadF() }
+
+// SetOccAvg publishes queue q's time-averaged buffered packet count — the
+// occupancy integral over the publisher's accounting window divided by the
+// window, not a point sample. Point samples alias Metronome's cycle
+// structure badly (a probe at cycle end always reads an empty ring, one at
+// wake-up always reads a full vacation's worth); the window average is the
+// signal control laws should consume.
+func (b *Bus) SetOccAvg(q int, pkts float64) { b.occAvg[q].storeF(pkts) }
+
+// OccAvg returns queue q's last published time-averaged occupancy.
+func (b *Bus) OccAvg(q int) float64 { return b.occAvg[q].loadF() }
 
 // SetCapacity publishes queue q's descriptor-ring capacity.
 func (b *Bus) SetCapacity(q int, pkts float64) { b.capacity[q].storeF(pkts) }
@@ -110,6 +125,14 @@ func (b *Bus) SetRho(q int, rho float64) { b.rho[q].storeF(rho) }
 
 // Rho returns queue q's published load estimate.
 func (b *Bus) Rho(q int) float64 { return b.rho[q].loadF() }
+
+// SetArrivalRate publishes queue q's measured arrival rate in packets per
+// second — derived from deltas of the Rx counter over an accounting window,
+// so it reflects what actually entered the queue (drops excluded).
+func (b *Bus) SetArrivalRate(q int, pps float64) { b.rate[q].storeF(pps) }
+
+// ArrivalRate returns queue q's last published arrival rate.
+func (b *Bus) ArrivalRate(q int) float64 { return b.rate[q].loadF() }
 
 // SetDrops publishes queue q's cumulative drop count (sim substrate: the
 // queue model owns the authoritative counter).
@@ -170,18 +193,20 @@ func (b *Bus) ThreadBusy(t int) float64 {
 // across Sample calls: after the first call sized to the bus, sampling
 // allocates nothing.
 type Snapshot struct {
-	Occ, Cap, Rho, OccSlope  []float64
-	Drops, Rx, Tries, BusyTr []uint64
-	ThreadBusy               []float64
+	Occ, OccAvg, Cap, Rho, OccSlope, Rate []float64
+	Drops, Rx, Tries, BusyTr              []uint64
+	ThreadBusy                            []float64
 }
 
 // Sample fills dst with the current slot values, growing its slices only
 // if they do not match the bus shape yet.
 func (b *Bus) Sample(dst *Snapshot) {
 	dst.Occ = sizedF(dst.Occ, b.nq)
+	dst.OccAvg = sizedF(dst.OccAvg, b.nq)
 	dst.Cap = sizedF(dst.Cap, b.nq)
 	dst.Rho = sizedF(dst.Rho, b.nq)
 	dst.OccSlope = sizedF(dst.OccSlope, b.nq)
+	dst.Rate = sizedF(dst.Rate, b.nq)
 	dst.Drops = sizedU(dst.Drops, b.nq)
 	dst.Rx = sizedU(dst.Rx, b.nq)
 	dst.Tries = sizedU(dst.Tries, b.nq)
@@ -189,9 +214,11 @@ func (b *Bus) Sample(dst *Snapshot) {
 	dst.ThreadBusy = sizedF(dst.ThreadBusy, b.nt)
 	for q := 0; q < b.nq; q++ {
 		dst.Occ[q] = b.occ[q].loadF()
+		dst.OccAvg[q] = b.occAvg[q].loadF()
 		dst.Cap[q] = b.capacity[q].loadF()
 		dst.Rho[q] = b.rho[q].loadF()
 		dst.OccSlope[q] = b.slope[q].loadF()
+		dst.Rate[q] = b.rate[q].loadF()
 		dst.Drops[q] = b.drops[q].load()
 		dst.Rx[q] = b.rx[q].load()
 		dst.Tries[q] = b.tries[q].load()

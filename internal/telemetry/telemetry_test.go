@@ -132,3 +132,23 @@ func TestConcurrentPublishSample(t *testing.T) {
 		}
 	}
 }
+
+func TestOccAvgAndArrivalRateGauges(t *testing.T) {
+	b := NewBus(2, 1)
+	b.SetOccAvg(0, 17.5)
+	b.SetArrivalRate(1, 2.5e6)
+	if got := b.OccAvg(0); got != 17.5 {
+		t.Errorf("OccAvg = %v", got)
+	}
+	if got := b.OccAvg(1); got != 0 {
+		t.Errorf("OccAvg(1) = %v, want 0", got)
+	}
+	if got := b.ArrivalRate(1); got != 2.5e6 {
+		t.Errorf("ArrivalRate = %v", got)
+	}
+	var s Snapshot
+	b.Sample(&s)
+	if s.OccAvg[0] != 17.5 || s.Rate[1] != 2.5e6 {
+		t.Errorf("snapshot missed the new gauges: %v %v", s.OccAvg, s.Rate)
+	}
+}

@@ -25,6 +25,7 @@ package metronome
 import (
 	"time"
 
+	"metronome/internal/apps"
 	"metronome/internal/core"
 	"metronome/internal/elastic"
 	"metronome/internal/experiments"
@@ -102,6 +103,38 @@ func NewRxRing(capacity, producers, consumers int) (RxRing, error) {
 // NewRunner builds the real-time Metronome over the given queues.
 func NewRunner(queues []RxQueue, handler Handler, cfg RunnerConfig) *Runner {
 	return runtime.New(queues, handler, cfg)
+}
+
+// --- application plane --------------------------------------------------------
+
+// The application plane is the burst-native processor contract the sample
+// applications (l3fwd, ipsec-secgw, flowatcher) implement: one virtual
+// dispatch per burst, verdicts written into a caller-owned buffer, zero
+// allocations per burst in steady state.
+type (
+	// Verdict is a processor's per-packet decision (Forward/Drop/Consume).
+	Verdict = apps.Verdict
+	// Processor is the per-packet application contract (calibration shim).
+	Processor = apps.Processor
+	// BurstProcessor processes packets a PollBurst at a time — the
+	// application-plane fast path NewProcRunner dispatches to.
+	BurstProcessor = apps.BurstProcessor
+	// PerPacket adapts a per-packet Processor to BurstProcessor (the
+	// calibration shim the benchmarks compare the native paths against).
+	PerPacket = apps.PerPacket
+	// EmitFunc disposes of a served burst in the processor path.
+	EmitFunc = runtime.EmitFunc
+)
+
+// FreeAll is the default EmitFunc: recycle every mbuf into its pool.
+func FreeAll(q int, ms []*Mbuf, verdicts []Verdict) { runtime.FreeAll(q, ms, verdicts) }
+
+// NewProcRunner builds the real-time Metronome on the application plane:
+// queue q's drains go straight to procs[q].ProcessBurst, then to emit (nil
+// emit frees every mbuf). One processor per queue is the sharding contract —
+// the per-queue trylock serialises drains, so procs[q] is single-writer.
+func NewProcRunner(queues []RxQueue, procs []BurstProcessor, emit EmitFunc, cfg RunnerConfig) *Runner {
+	return runtime.NewProc(queues, procs, emit, cfg)
 }
 
 // --- scheduling policies -----------------------------------------------------
