@@ -1,35 +1,57 @@
-// Command metropcap generates and inspects the pcap traces used by the
-// multiqueue experiments.
+// Command metropcap generates, inspects and replays the pcap traces used by
+// the multiqueue experiments.
 //
 //	metropcap -gen -out unbalanced.pcap -n 1000 -heavy 0.30
 //	metropcap -info unbalanced.pcap -queues 3
+//	metropcap -replay unbalanced.pcap -queues 3 -m 3 -times 50 -elastic
 //
 // -info parses the trace with the FloWatcher engine and reports per-flow
 // statistics plus how RSS would spread the flows over the given queue
 // count — the planning view for a Metronome multiqueue deployment.
+//
+// -replay drives the trace through that deployment for real: frames fan out
+// via Toeplitz RSS onto per-queue rings served by the live runtime on the
+// burst-native application path (runtime.NewProc straight into per-queue
+// FloWatcher shards — no per-packet handler shim), with a telemetry bus
+// attached. The producer charges every ring-full or pool-empty frame to
+// bus.AddDrops, the live counterpart of the NIC's imissed counter, so an
+// attached elastic controller's loss override fires on real backpressure;
+// -elastic attaches that controller with the health layer on.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"metronome/internal/apps/flowatcher"
+	"metronome/internal/elastic"
 	"metronome/internal/mbuf"
 	"metronome/internal/packet"
 	"metronome/internal/pcap"
+	"metronome/internal/ring"
+	"metronome/internal/runtime"
+	"metronome/internal/sched"
+	"metronome/internal/telemetry"
 )
 
 func main() {
 	var (
-		gen    = flag.Bool("gen", false, "generate a trace")
-		out    = flag.String("out", "unbalanced.pcap", "output path for -gen")
-		n      = flag.Int("n", 1000, "packets to generate")
-		heavy  = flag.Float64("heavy", 0.30, "share of the single heavy flow")
-		pps    = flag.Float64("pps", 1e6, "pacing of the generated trace")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		info   = flag.String("info", "", "trace to inspect")
-		queues = flag.Int("queues", 3, "RSS queue count for the -info split")
+		gen     = flag.Bool("gen", false, "generate a trace")
+		out     = flag.String("out", "unbalanced.pcap", "output path for -gen")
+		n       = flag.Int("n", 1000, "packets to generate")
+		heavy   = flag.Float64("heavy", 0.30, "share of the single heavy flow")
+		pps     = flag.Float64("pps", 1e6, "pacing of the generated trace")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		info    = flag.String("info", "", "trace to inspect")
+		queues  = flag.Int("queues", 3, "RSS queue count for -info and -replay")
+		replay  = flag.String("replay", "", "trace to replay through the live runtime")
+		m       = flag.Int("m", 3, "retrieval threads for -replay")
+		times   = flag.Int("times", 50, "trace repetitions for -replay")
+		speedup = flag.Float64("speedup", 20, "timestamp compression for -replay pacing")
+		elas    = flag.Bool("elastic", false, "attach the self-healing elastic controller to -replay")
 	)
 	flag.Parse()
 
@@ -48,20 +70,30 @@ func main() {
 		fmt.Printf("wrote %s: %d packets, heavy share %.0f%%, paced at %.2f Mpps\n",
 			*out, *n, *heavy*100, *pps/1e6)
 	case *info != "":
-		f, err := os.Open(*info)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		records, err := pcap.ReadAll(f)
+		records, err := readTrace(*info)
 		if err != nil {
 			fatal(err)
 		}
 		inspect(records, *queues)
+	case *replay != "":
+		records, err := readTrace(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		runReplay(records, *queues, *m, *times, *speedup, *elas, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func readTrace(path string) ([]pcap.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pcap.ReadAll(f)
 }
 
 func inspect(records []pcap.Record, queues int) {
@@ -106,6 +138,117 @@ func inspect(records []pcap.Record, queues int) {
 	for q, c := range perQueue {
 		fmt.Printf("  queue %d: %6d packets (%.1f%%)\n",
 			q, c, 100*float64(c)/float64(mon.Packets))
+	}
+}
+
+// runReplay is the live end of the planning view: the trace's flows land on
+// real rings via the same Toeplitz split and the live runtime retrieves
+// them under the shared-queue discipline.
+func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bool, seed uint64) {
+	const ringCap = 4096
+	pool := mbuf.NewPool(16384)
+	rss := packet.NewToeplitz(packet.DefaultRSSKey)
+	rings := make([]*ring.MPMC[*mbuf.Mbuf], nq)
+	rxqs := make([]runtime.RxQueue, nq)
+	for i := range rings {
+		r, err := ring.NewMPMC[*mbuf.Mbuf](ringCap)
+		if err != nil {
+			fatal(err)
+		}
+		rings[i] = r
+		rxqs[i] = runtime.RingQueue{R: r}
+	}
+	budget := 2 * m
+	bus := telemetry.NewBus(nq, budget)
+	for q := 0; q < nq; q++ {
+		bus.SetCapacity(q, ringCap)
+	}
+
+	// The burst-native application path: one FloWatcher shard per queue fed
+	// whole bursts through runtime.NewProc.
+	sharded := flowatcher.NewSharded(nq)
+	r := runtime.NewProc(rxqs, sharded.Procs(), nil, runtime.Config{
+		M:      m,
+		VBar:   100 * time.Microsecond,
+		Policy: sched.NameRMetronome,
+		Seed:   seed,
+		Bus:    bus,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go r.Run(ctx)
+
+	var ctrl *elastic.Controller
+	stopTick := make(chan struct{})
+	if elas {
+		ec := elastic.DefaultConfig(m, budget)
+		ec.TargetOccupancy = 0.03
+		ec.Placement = true
+		ec.Health = true
+		ctrl = elastic.New(bus, r, ec)
+		go func() {
+			tk := time.NewTicker(time.Millisecond)
+			defer tk.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-tk.C:
+					ctrl.Tick(r.Elapsed())
+				}
+			}
+		}()
+	}
+
+	// The replay loop. Frames the rings or the pool cannot take are charged
+	// to the bus producer-side — the live imissed counter the controller's
+	// loss override consumes.
+	sent, lost := 0, 0
+	start := time.Now()
+	pcap.Replay(records, times, func(ts float64, frame []byte) {
+		var p packet.Parsed
+		if p.Parse(frame) != nil {
+			return
+		}
+		q := rss.QueueFor(p.Key, nq)
+		target := time.Duration(ts / speedup * float64(time.Second))
+		if d := target - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		mb, err := pool.Get()
+		if err != nil {
+			bus.AddDrops(q, 1)
+			lost++
+			return
+		}
+		mb.SetFrame(frame)
+		if !rings[q].Enqueue(mb) {
+			mb.Free()
+			bus.AddDrops(q, 1)
+			lost++
+			return
+		}
+		sent++
+	})
+	time.Sleep(100 * time.Millisecond)
+	close(stopTick)
+	cancel()
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Printf("replayed %d packets (%d dropped producer-side) over %d queues, team %d\n",
+		sent, lost, nq, r.TeamSize())
+	for q := 0; q < nq; q++ {
+		fmt.Printf("  queue %d: rx=%-7d drops=%-6d rho=%.3f TS=%v\n",
+			q, bus.Rx(q), bus.Drops(q), r.Rho(q), r.TS(q).Round(10*time.Microsecond))
+	}
+	fmt.Printf("flows: %d (%d malformed)\n", sharded.FlowCount(), sharded.Malformed())
+	for i, k := range sharded.TopK(3) {
+		fs, _ := sharded.Flow(k)
+		fmt.Printf("  #%d %-44v pkts=%d\n", i+1, k, fs.Packets)
+	}
+	if ctrl != nil {
+		rep := ctrl.Report(r.Elapsed())
+		fmt.Printf("elastic: M %d..%d, %d resizes, %d exiles, %d safe ticks, %d stale-queue ticks\n",
+			rep.MinThreads, rep.MaxThreads, rep.Resizes, rep.Exiles, rep.SafeTicks, rep.StaleQueueTicks)
 	}
 }
 

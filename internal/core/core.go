@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"metronome/internal/cpu"
+	"metronome/internal/faults"
 	"metronome/internal/hrtimer"
 	"metronome/internal/nic"
 	"metronome/internal/sched"
@@ -87,6 +88,14 @@ type Config struct {
 	// work-stealing discipline reads occupancy from it. Nil keeps the hot
 	// path free of even the publishing branches' stores.
 	Bus *telemetry.Bus
+	// Faults, when set, is the deterministic fault-injection plane the run
+	// consults on its cycle path: dead threads park, stalled threads sleep
+	// through their windows, dark queues poll empty while their backlog
+	// builds, and frozen queues stop publishing telemetry. Flag flips arrive
+	// through ordinary engine events (faults.Schedule), so a faulted run
+	// stays a pure function of its seed. Nil keeps the hot path to one
+	// pointer test per wakeup.
+	Faults *faults.Injector
 	// RingCap overrides the Rx descriptor-ring capacity of every queue the
 	// deployment *builders* construct (the facade's Simulate/
 	// SimulateElastic and the experiment harness; zero keeps each builder's
@@ -183,6 +192,7 @@ type Runtime struct {
 	group   sched.GroupPolicy // non-nil when the policy binds service groups
 	dephase sched.Dephaser    // non-nil when the policy staggers group wakes
 	bus     *telemetry.Bus    // nil unless Cfg.Bus
+	faults  *faults.Injector  // nil unless Cfg.Faults
 	threads []*thread
 
 	// active is the current team size: threads[0:active] are serving,
@@ -272,6 +282,7 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 	r.group, _ = r.policy.(sched.GroupPolicy)
 	r.dephase, _ = r.policy.(sched.Dephaser)
 	r.bus = cfg.Bus
+	r.faults = cfg.Faults
 	r.active = cfg.M
 	r.placement = make([]int, len(queues))
 	r.refreshPlacement()
@@ -568,6 +579,25 @@ func (r *Runtime) BusyTryFraction() float64 {
 	return stats.Ratio(r.BusyTries.Value, r.Tries.Value)
 }
 
+// pubGauges reports whether queue q's telemetry gauges should publish this
+// event: a bus is attached and the fault plane has not frozen the queue's
+// telemetry (a frozen queue keeps serving — only its gauges go stale, which
+// is exactly the brownout the controller's health layer must survive).
+func (r *Runtime) pubGauges(q int) bool {
+	return r.bus != nil && (r.faults == nil || !r.faults.TelemetryFrozen(q))
+}
+
+// ThreadHome returns the queue thread id is homed on under the current
+// placement: the group layout's home when the discipline binds service
+// groups, the balanced modulo assignment otherwise. The elastic health
+// layer uses it to aim corrective plans at an unhealthy member's queue.
+func (r *Runtime) ThreadHome(id int) int {
+	if r.group != nil {
+		return r.group.HomeQueue(id)
+	}
+	return id % len(r.Queues)
+}
+
 // wakeup is the body of Listing 2: trylock, drain-or-flee, re-arm.
 func (r *Runtime) wakeup(th *thread) {
 	if th.retired {
@@ -577,6 +607,21 @@ func (r *Runtime) wakeup(th *thread) {
 		// serving thread re-arms through finishCycle, which parks first).
 		th.parked = true
 		return
+	}
+	if f := r.faults; f != nil {
+		if f.Dead(th.id) {
+			// Thread death: the pending timer fires one last time and the
+			// thread parks for good. Revival goes through the placement path
+			// (an ApplyPlacement un-park arms a fresh wake).
+			th.parked = true
+			return
+		}
+		if until, ok := f.StalledUntil(th.id); ok && r.Eng.Now() < until {
+			// Stall: the thread sleeps through its service turns until the
+			// window ends, without contending or re-tuning anything.
+			r.Eng.At(until, "metronome-stall-resume", th.wakeFn)
+			return
+		}
 	}
 	now := r.Eng.Now()
 	r.Acct.AddBusy(th.id, r.Cfg.WakeCost)
@@ -588,12 +633,13 @@ func (r *Runtime) wakeup(th *thread) {
 		// random queue for the next attempt (Sec. IV-E) and sleep TL.
 		r.BusyTries.Inc()
 		r.BusyTriesQ[q]++
-		if r.bus != nil {
+		if r.pubGauges(q) {
 			// The queue is mid-service, so Occupancy reads the fluid
 			// model's last slice boundary without advancing arrivals.
 			r.bus.SetOccupancy(q, r.Queues[q].Occupancy(now))
 			r.bus.SetTries(q, uint64(r.TriesQ[q]))
 			r.bus.SetBusyTries(q, uint64(r.BusyTriesQ[q]))
+			r.bus.BumpPub(q)
 		}
 		if r.Cfg.Tracer != nil {
 			r.Cfg.Tracer.Wake(now, th.id, q, false)
@@ -621,15 +667,22 @@ func (r *Runtime) wakeup(th *thread) {
 	}
 	r.locked[q] = true
 	queue := r.Queues[q]
+	if r.faults != nil {
+		// Blackout sync: flip the fluid model's dark bit to match the
+		// injector before the poll, so a dark queue sees nv=0 while its
+		// backlog accrues and a recovered one surfaces the backlog now.
+		queue.SetDark(now, r.faults.QueueDark(q))
+	}
 	th.vacation = now - r.lastRelease[q]
 	th.serviceStart = now
 	nv := queue.BeginService(now, r.noisyMu(th))
-	if r.bus != nil {
+	if r.pubGauges(q) {
 		// N_V is the wake-time occupancy: the signal the elastic
 		// controller holds at target and the work-stealing backup ranking
 		// reacts to within one vacation.
 		r.bus.SetOccupancy(q, nv)
 		r.bus.SetTries(q, uint64(r.TriesQ[q]))
+		r.bus.BumpPub(q)
 	}
 	if nv == 0 {
 		// Empty poll: pay one rx_burst, release, stay primary.
@@ -691,7 +744,7 @@ func (r *Runtime) finishCycle(th *thread) {
 	if r.Cfg.Tracer != nil {
 		r.Cfg.Tracer.Release(now, th.id, q, busy)
 	}
-	if r.bus != nil {
+	if r.pubGauges(q) {
 		queue := r.Queues[q]
 		r.bus.SetOccupancy(q, 0) // drained by construction of EndService
 		if dt := now - r.occIntAt[q]; dt > 0 {
@@ -706,6 +759,13 @@ func (r *Runtime) finishCycle(th *thread) {
 		r.bus.SetDrops(q, uint64(queue.Drops))
 		r.bus.SetRx(q, uint64(queue.RxPackets))
 		r.bus.SetThreadBusy(th.id, r.Acct.Busy(th.id))
+		r.bus.BumpPub(q)
+	}
+	if r.bus != nil {
+		// The heartbeat publishes even when the queue's gauges are frozen:
+		// staleness is a property of the telemetry path, liveness of the
+		// thread — the health layer tells them apart by which one moves.
+		r.bus.SetHeartbeat(th.id, now)
 	}
 	if th.retired {
 		// Retired mid-service: the cycle completed cleanly, now park

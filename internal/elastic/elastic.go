@@ -138,6 +138,48 @@ type Config struct {
 	// law apportions by — one knob because both exist to filter the same
 	// point-in-time sampling noise at the same control cadence.
 	SlopeAlpha float64
+
+	// Health enables the self-healing layer: stale-gauge rejection (a queue
+	// whose publish sequence stops advancing for StaleTicks control ticks is
+	// distrusted and its last-fresh smoothed signals are held instead),
+	// heartbeat-based straggler/death detection with exile through
+	// corrective placement plans, dark-queue loss classification (drops
+	// rising into an empty-reading ring are a blackout, not
+	// under-provisioning), a SafeTeam fallback when the whole bus goes
+	// stale, and a Tick watchdog (panic recovery + actuation rate
+	// limiting). Off by default: the shipped fig-elastic/fig-placement
+	// tunings predate it and stay byte-identical.
+	Health bool
+	// StaleTicks is the per-queue staleness bound in control ticks (default
+	// 8): a queue whose publish sequence has not advanced for this many
+	// ticks is stale. Staleness is detected by value change, never by clock
+	// arithmetic — the sim publishes virtual seconds, the live runner
+	// elapsed seconds, and the controller must not care.
+	StaleTicks int
+	// HeartbeatTicks is the per-member liveness bound in control ticks
+	// (default 8): an active member whose heartbeat gauge has not changed
+	// for this many ticks is a straggler (stalled or dead) and is exiled —
+	// its home queue gets one reinforcing member through a corrective plan.
+	// The exile latch clears only when the heartbeat value moves again.
+	HeartbeatTicks int
+	// SafeTeam is the static team size the controller holds when every
+	// queue's telemetry is stale (the bus went dark): with no trustworthy
+	// signal, provision a configured-safe size rather than act on garbage.
+	// The fallback is grow-only — safe mode never shrinks below the current
+	// size. Default: Budget.
+	SafeTeam int
+	// MaxActuationsPerSec rate-limits applied actuations (resizes,
+	// rebalances, exiles) through a token bucket when the health layer is
+	// on; zero disables the limit. A recovering controller (outage ends,
+	// ticks resume) cannot burst-actuate its way through stale state.
+	MaxActuationsPerSec float64
+}
+
+// Homer exposes a substrate's thread-to-home-queue mapping; core.Runtime and
+// runtime.Runner both implement it. The health layer aims corrective plans
+// at an unhealthy member's home queue through it.
+type Homer interface {
+	ThreadHome(id int) int
 }
 
 // DefaultConfig returns the tuning the fig-elastic experiment ships:
@@ -189,6 +231,18 @@ func (c Config) normalized() Config {
 	if c.SlopeAlpha <= 0 || c.SlopeAlpha > 1 {
 		c.SlopeAlpha = 0.25
 	}
+	if c.StaleTicks <= 0 {
+		c.StaleTicks = 8
+	}
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 8
+	}
+	if c.SafeTeam <= 0 || c.SafeTeam > c.Budget {
+		c.SafeTeam = c.Budget
+	}
+	if c.MaxActuationsPerSec < 0 {
+		c.MaxActuationsPerSec = 0
+	}
 	return c
 }
 
@@ -210,6 +264,26 @@ type Decision struct {
 	// Rebalanced marks a placement-only move: members migrated between
 	// queues with the team total unchanged.
 	Rebalanced bool
+
+	// Health-layer observability (zero values unless Config.Health is on).
+
+	// StaleMask marks queues whose telemetry is stale this tick: bit q is
+	// set for stale queue q (queues past 63 fold modulo 64).
+	StaleMask uint64
+	// DarkLoss is the drop delta excluded from the loss override this tick
+	// because it carried the blackout signature — drops rising while the
+	// ring reads empty. Growing the team cannot serve a dark queue.
+	DarkLoss uint64
+	// Unhealthy lists active members whose heartbeat froze past the bound.
+	Unhealthy []int
+	// Exiled lists members the health layer exiled this tick: a corrective
+	// plan reinforced each one's home queue.
+	Exiled []int
+	// Recovered lists previously exiled members whose heartbeat moved again.
+	Recovered []int
+	// SafeMode marks a tick on which every queue was stale: the controller
+	// held/grew toward SafeTeam instead of trusting the bus.
+	SafeMode bool
 }
 
 // Controller drives one Team from one Bus.
@@ -228,12 +302,13 @@ type Controller struct {
 	snap      telemetry.Snapshot
 	prevDrops []uint64
 	prevRx    []uint64
-	prevOccF  []float64 // previous tick's per-queue occupancy fractions
-	occEW     []float64 // EWMA per-queue occupancy fraction (placement law)
-	slopes    []float64 // EWMA per-queue occupancy slope (fraction/s)
-	lastPlan  []int     // placement last applied (placement mode only)
-	planBuf   []int     // scratch for the apportionment law
-	remBuf    []float64 // scratch for largest-remainder apportionment
+	prevOccF  []float64    // previous tick's per-queue occupancy fractions
+	occEW     []float64    // EWMA per-queue occupancy fraction (placement law)
+	slopes    []float64    // EWMA per-queue occupancy slope (fraction/s)
+	lastPlan  []int        // placement last applied (placement mode only)
+	planBuf   []int        // scratch for the apportionment law
+	remBuf    []float64    // scratch for largest-remainder apportionment
+	health    *healthState // nil unless Config.Health
 
 	// Window stats backing Report.
 	statsFrom     float64
@@ -282,6 +357,10 @@ func New(bus *telemetry.Bus, team Team, cfg Config) *Controller {
 			c.planBuf = make([]int, bus.Queues())
 		}
 	}
+	if c.cfg.Health {
+		c.health = newHealthState(bus)
+		c.health.homer, _ = team.(Homer)
+	}
 	return c
 }
 
@@ -294,7 +373,32 @@ func (c *Controller) Config() Config { return c.cfg }
 // otherwise — when the output leaves the deadband. With the placement law
 // on, a tick that moves no total can still migrate members between queues
 // (a rebalance), rate-limited by the cooldown.
-func (c *Controller) Tick(now float64) Decision {
+//
+// A tick whose now is not strictly later than the previous tick's is
+// rejected (the previous Decision is returned unchanged): a recovering
+// ticker replaying a timestamp, or two tickers racing, must not fold a
+// zero-length window into the PI state or double-count deltas. With the
+// health layer on, the body additionally runs under a watchdog — a panic
+// is swallowed, counted, and the last good Decision returned, so one bad
+// sample cannot take the control loop down with it.
+func (c *Controller) Tick(now float64) (d Decision) {
+	if c.started && now <= c.lastTick {
+		return c.last
+	}
+	if c.health != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				c.health.panics++
+				d = c.last
+			}
+		}()
+	}
+	return c.tick(now)
+}
+
+// tick is the control law body; Tick wraps it with the monotonicity guard
+// and (with the health layer on) the panic watchdog.
+func (c *Controller) tick(now float64) Decision {
 	cur := c.team.TeamSize()
 	if !c.started {
 		c.started = true
@@ -306,6 +410,9 @@ func (c *Controller) Tick(now float64) Decision {
 		for q := 0; q < c.bus.Queues(); q++ {
 			c.prevOccF[q] = c.occFraction(q)
 		}
+		if c.health != nil {
+			c.health.seed(&c.snap, now)
+		}
 		c.last = Decision{At: now, Want: cur, Applied: cur}
 		return c.last
 	}
@@ -314,8 +421,26 @@ func (c *Controller) Tick(now float64) Decision {
 	c.lastTick = now
 
 	c.bus.Sample(&c.snap)
+	d := Decision{At: now}
+	safeMode := false
+	if c.health != nil {
+		safeMode = c.healthObserve(&d, cur)
+	}
 	occ, slope := 0.0, 0.0
 	for q := 0; q < c.bus.Queues(); q++ {
+		if c.health != nil && c.health.stale(q, c.cfg.StaleTicks) {
+			// Stale gauge rejection: the queue's publishers went quiet, so
+			// this sample is a frozen echo. Hold the last-fresh smoothed
+			// signals (the occupancy EWMA and slope keep steering the size
+			// and placement laws) instead of folding the echo in.
+			if c.occEW[q] > occ {
+				occ = c.occEW[q]
+			}
+			if c.slopes[q] > slope {
+				slope = c.slopes[q]
+			}
+			continue
+		}
 		f := c.occFraction(q)
 		if f > occ {
 			occ = f
@@ -341,8 +466,17 @@ func (c *Controller) Tick(now float64) Decision {
 	}
 	var lossDelta uint64
 	for q := 0; q < c.bus.Queues(); q++ {
-		if d := c.snap.Drops[q]; d >= c.prevDrops[q] {
-			lossDelta += d - c.prevDrops[q]
+		if drops := c.snap.Drops[q]; drops >= c.prevDrops[q] {
+			delta := drops - c.prevDrops[q]
+			if c.health != nil && delta > 0 && c.occEW[q] < 0.01 {
+				// Blackout signature: drops rising while the ring reads
+				// (nearly) empty means the queue went dark, not
+				// under-provisioned — polls see nothing to serve, so more
+				// threads cannot help. Excluded from the loss override.
+				d.DarkLoss += delta
+			} else {
+				lossDelta += delta
+			}
 		}
 		if dt > 0 {
 			// Republish the measured per-queue arrival rate (Rx delta over
@@ -356,6 +490,18 @@ func (c *Controller) Tick(now float64) Decision {
 		// alignment); resync silently.
 		c.prevDrops[q] = c.snap.Drops[q]
 		c.prevRx[q] = c.snap.Rx[q]
+	}
+
+	d.Occupancy, d.Slope, d.LossDelta = occ, slope, lossDelta
+	if safeMode {
+		// The whole bus is stale: every signal below would be an echo, so
+		// skip the PI entirely and hold/grow toward the configured safe
+		// static size. Grow-only — shrinking on no information loses
+		// packets, holding extra threads only burns budget.
+		d.SafeMode = true
+		d.Want, d.Applied = cur, cur
+		c.healthSafeMode(&d, now, cur)
+		return c.finishTick(d)
 	}
 
 	e := (occ - c.cfg.TargetOccupancy) / c.cfg.TargetOccupancy
@@ -376,16 +522,16 @@ func (c *Controller) Tick(now float64) Decision {
 	raw := float64(c.cfg.MinThreads) + c.cfg.Kp*(e+ff) + c.integ
 	want := int(math.Round(clamp(raw, float64(c.cfg.MinThreads), float64(c.cfg.Budget))))
 
-	d := Decision{
-		At: now, Occupancy: occ, Slope: slope, LossDelta: lossDelta,
-		Err: e, Feedfwd: ff, Raw: raw, Want: want, Applied: cur,
-	}
+	d.Err, d.Feedfwd, d.Raw = e, ff, raw
+	d.Want, d.Applied = want, cur
 	switch {
-	case want > cur && raw > float64(cur)+0.5+c.cfg.Hysteresis:
+	case want > cur && raw > float64(cur)+0.5+c.cfg.Hysteresis &&
+		c.takeToken(now):
 		d.Applied = c.actuate(want, &d)
 		d.Resized = d.Applied != cur
 	case want < cur && raw < float64(cur)-0.5-c.cfg.Hysteresis &&
-		now-c.lastShrink >= c.cfg.Cooldown:
+		now-c.lastShrink >= c.cfg.Cooldown &&
+		(c.health == nil || !c.health.anyExiled()) && c.takeToken(now):
 		d.Applied = c.actuate(want, &d)
 		d.Resized = d.Applied != cur
 		if d.Resized {
@@ -395,9 +541,10 @@ func (c *Controller) Tick(now float64) Decision {
 		// No size move. The placement law may still migrate members to
 		// chase a demand shift — a hot flow moving queues changes where
 		// threads should sit without changing how many are needed.
-		if c.act != nil && now-c.lastRebalance >= c.cfg.Cooldown {
+		if c.act != nil && now-c.lastRebalance >= c.cfg.Cooldown &&
+			(c.health == nil || !c.health.anyExiled()) {
 			plan := c.apportion(cur)
-			if !sched.PlacementEqual(plan, c.lastPlan) {
+			if !sched.PlacementEqual(plan, c.lastPlan) && c.takeToken(now) {
 				d.Applied = c.applyPlan(plan, &d)
 				d.Rebalanced = true
 				c.rebalances++
@@ -405,12 +552,29 @@ func (c *Controller) Tick(now float64) Decision {
 			}
 		}
 	}
+	if c.health != nil && !d.Resized && !d.Rebalanced {
+		// Quiet tick: let the health layer exile stragglers. Right after an
+		// actuation members are re-homing and their heartbeats wobble, so
+		// exile only runs when the size/placement laws held still.
+		c.healthExile(&d, now)
+	}
+	return c.finishTick(d)
+}
+
+// finishTick does the shared tail of every tick — resize bookkeeping,
+// health grace arming, window stats — and records the Decision.
+func (c *Controller) finishTick(d Decision) Decision {
 	if d.Resized {
 		c.resizes++
 		// Keep the integral consistent with what was actually applied so
 		// the deadband is measured from the live size, not a phantom one.
 		c.integ = clamp(float64(d.Applied-c.cfg.MinThreads), 0,
 			float64(c.cfg.Budget-c.cfg.MinThreads))
+	}
+	if c.health != nil && (d.Resized || d.Rebalanced) {
+		// Freshly moved members re-home and their heartbeats wobble: hold
+		// the straggler detector for one full liveness window.
+		c.health.grace = c.cfg.HeartbeatTicks
 	}
 	if d.Applied < c.minSeen {
 		c.minSeen = d.Applied
@@ -551,6 +715,18 @@ type Report struct {
 	// FinalPlan is the per-queue placement at report time (nil when the
 	// controller actuates through the scalar path).
 	FinalPlan []int
+
+	// Health-layer window stats (zero unless Config.Health is on).
+
+	// Exiles counts straggler exiles: corrective plans that reinforced an
+	// unhealthy member's home queue.
+	Exiles int
+	// SafeTicks counts ticks spent in the all-stale SafeTeam fallback.
+	SafeTicks int
+	// StaleQueueTicks counts (queue, tick) pairs past the staleness bound.
+	StaleQueueTicks int
+	// Panics counts Tick bodies the watchdog recovered from.
+	Panics int
 }
 
 // Report closes the accounting window at now and summarises it.
@@ -577,6 +753,12 @@ func (c *Controller) Report(now float64) Report {
 	if c.act != nil {
 		rep.FinalPlan = append([]int(nil), c.lastPlan...)
 	}
+	if h := c.health; h != nil {
+		rep.Exiles = h.exiles
+		rep.SafeTicks = h.safeTicks
+		rep.StaleQueueTicks = h.staleQTicks
+		rep.Panics = h.panics
+	}
 	return rep
 }
 
@@ -588,6 +770,9 @@ func (c *Controller) ResetStats(now float64) {
 	c.threadSeconds = 0
 	c.resizes, c.rebalances = 0, 0
 	c.minSeen, c.maxSeen = cur, cur
+	if h := c.health; h != nil {
+		h.exiles, h.safeTicks, h.staleQTicks, h.panics = 0, 0, 0, 0
+	}
 }
 
 // Run drives the controller on wall-clock ticks until ctx is cancelled —

@@ -18,6 +18,7 @@ import (
 	"metronome/internal/core"
 	"metronome/internal/cpu"
 	"metronome/internal/elastic"
+	"metronome/internal/faults"
 	"metronome/internal/nic"
 	"metronome/internal/power"
 	"metronome/internal/sim"
@@ -237,6 +238,16 @@ type runSpec struct {
 	// elastic attaches the occupancy-driven control plane: a bus, a
 	// controller and an engine ticker at the configured control period.
 	elastic *elastic.Config
+	// faults schedules the deterministic fault plane into the run: an
+	// injector sized to the deployment (elastic budget included) is wired
+	// into the core config and the events fire as ordinary engine events,
+	// so a faulted sweep stays byte-identical at any -parallel. A
+	// ControllerDown event suppresses the elastic ticker until ControllerUp.
+	faults []faults.Event
+	// hook observes the wired deployment before the clock runs — the fault
+	// experiments register their recovery probes (engine tickers sampling
+	// ring state) through it.
+	hook func(eng *sim.Engine, r *core.Runtime, queues []*nic.Queue)
 }
 
 // overridePolicy yields the Options-level discipline override for a
@@ -274,6 +285,15 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 		}
 		s.cfg.Bus = telemetry.NewBus(len(s.procs), budget)
 	}
+	var inj *faults.Injector
+	if len(s.faults) > 0 {
+		slots := s.cfg.M
+		if s.elastic != nil && s.elastic.Budget > slots {
+			slots = s.elastic.Budget
+		}
+		inj = faults.New(slots, len(s.procs))
+		s.cfg.Faults = inj
+	}
 	eng := sim.New()
 	root := xrand.New(s.seed)
 	queues := make([]*nic.Queue, len(s.procs))
@@ -301,7 +321,18 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 		// Construct after Start: the controller's initial clamp resizes
 		// through the live resize path, never double-arming first wakes.
 		ctrl = elastic.New(s.cfg.Bus, r, ec)
-		eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })
+		eng.Ticker(ctrl.Config().Period, "elastic-tick", func() {
+			if inj != nil && inj.ControllerSuppressed() {
+				return
+			}
+			ctrl.Tick(eng.Now())
+		})
+	}
+	if inj != nil {
+		faults.Schedule(eng, inj, s.faults)
+	}
+	if s.hook != nil {
+		s.hook(eng, r, queues)
 	}
 	if s.warmup > 0 {
 		eng.RunUntil(s.warmup)

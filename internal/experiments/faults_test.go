@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// The fault plane's acceptance gate, asserted on the straggler-storm panel
+// at full duration (quick mode compresses the stall below the liveness
+// bound, so the physics only hold at scale): the self-healing controller
+// matches the oracle's loss within 2x plus a small quantisation floor, the
+// oblivious controller pays more than 10x, and the win comes from actual
+// exiles — not from the storm being harmless.
+func TestFigFaultsStragglerAcceptance(t *testing.T) {
+	results, _ := stragglerResults(Options{Seed: 1})
+	byName := map[string]faultResult{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	oracle := byName["oracle-static-3"].drops
+	static2 := byName["static-2"].drops
+	selfheal := byName["elastic-selfheal-2..4"]
+	oblivious := byName["elastic-oblivious-2..4"].drops
+	// The floor absorbs zero-loss denominators: 150 packets is one
+	// millisecond of the watched queue's arrivals.
+	if floor := int64(150); selfheal.drops > 2*oracle+floor {
+		t.Errorf("self-healing lost %d, oracle %d: want <= 2x oracle (+%d floor)",
+			selfheal.drops, oracle, floor)
+	}
+	if oblivious <= 10*oracle+1000 {
+		t.Errorf("oblivious lost %d, oracle %d: storm too soft to discriminate",
+			oblivious, oracle)
+	}
+	if static2 < 1000 {
+		t.Errorf("static-2 lost only %d: the storm never starved the queue", static2)
+	}
+	if selfheal.exiles == 0 {
+		t.Error("self-healing arm never exiled the straggler")
+	}
+}

@@ -63,6 +63,12 @@ type Queue struct {
 	occ    float64 // packets buffered at upTo
 	occInt float64 // time integral of occupancy (packet-seconds) up to upTo
 
+	// dark marks a blacked-out queue (fault injection): polls find nothing
+	// while arrivals keep accruing against the ring capacity, so the
+	// backlog — and past capacity, the drops — build exactly as they would
+	// behind a flapped link. Toggle with SetDark.
+	dark bool
+
 	// cycle state
 	serving      bool
 	vacStart     float64
@@ -140,9 +146,30 @@ func (q *Queue) addArrivals(n float64) {
 	q.occ += kept
 }
 
+// SetDark blacks out (dark=true) or recovers (dark=false) the queue. While
+// dark, BeginService reports an empty queue (the NIC looks dead to a
+// poller) but arrivals keep integrating against the ring: occupancy builds,
+// overflow drops accrue, and the whole backlog surfaces at the first
+// post-recovery service cycle. Occupancy is synchronised to t first so the
+// transition lands exactly on the fluid model's clock.
+func (q *Queue) SetDark(t float64, dark bool) {
+	if q.dark == dark {
+		return
+	}
+	if !q.serving {
+		q.syncIdle(t)
+	}
+	q.dark = dark
+}
+
+// Dark reports whether the queue is blacked out.
+func (q *Queue) Dark() bool { return q.dark }
+
 // BeginService closes the current vacation period at time t and starts a
 // busy period drained at mu packets/second. It returns the packets found
-// waiting (the paper's N_V).
+// waiting (the paper's N_V). On a dark queue it returns zero — the poll
+// sees nothing — while the synchronised backlog stays buffered for
+// recovery.
 func (q *Queue) BeginService(t, mu float64) (nv float64) {
 	if q.serving {
 		panic("nic: BeginService while serving")
@@ -154,6 +181,20 @@ func (q *Queue) BeginService(t, mu float64) (nv float64) {
 	preOcc := q.occ
 	q.syncIdle(t)
 	nv = q.occ
+	if q.dark {
+		// The ring holds preOcc..occ packets, but the NIC is dark: the poll
+		// observes nothing and this cycle serves nothing. Tagging is skipped
+		// too — a stuck packet's latency resolves after recovery, and most
+		// of the deep-backlog tags would be dropped fluid anyway.
+		q.VacObs.Add(t - q.vacStart)
+		q.NVObs.Add(0)
+		q.serving = true
+		q.serviceStart = t
+		q.serveT = t
+		q.mu = mu
+		q.cyclePos = 0
+		return 0
+	}
 	q.VacObs.Add(t - q.vacStart)
 	q.NVObs.Add(nv)
 
@@ -314,6 +355,13 @@ func (q *Queue) EndService(t float64) {
 
 	q.serving = false
 	q.vacStart = t
+	if q.dark {
+		// Dark cycle: nothing was served, arrivals kept flowing. Integrate
+		// them up to t instead of zeroing — the backlog (and its overflow
+		// drops) survives for the first post-recovery cycle.
+		q.syncIdle(t)
+		return
+	}
 	if t > q.upTo {
 		// Constant occupancy across the tail gap, then the close-out zeroes
 		// it at t.

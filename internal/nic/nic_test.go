@@ -360,3 +360,65 @@ func TestOccIntegralSurvivesReset(t *testing.T) {
 		t.Errorf("Reset changed the integral: %v -> %v", before, q.OccIntegral())
 	}
 }
+
+func TestDarkQueueBuffersAndRecovers(t *testing.T) {
+	q := newQ(1e6, Options{Cap: 4096, TxBatch: 1}) // 1 Mpps: one packet per us
+	q.SetDark(0, true)
+	if !q.Dark() {
+		t.Fatal("SetDark not visible")
+	}
+	// A poll during the blackout sees an empty queue...
+	nv := q.BeginService(100*us, 15e6)
+	if nv != 0 {
+		t.Fatalf("dark poll NV = %v, want 0", nv)
+	}
+	q.EndService(100*us + 0.2*us)
+	// ...but the backlog keeps building behind the dark NIC.
+	q.SetDark(300*us, false)
+	nv = q.BeginService(400*us, 15e6)
+	if math.Abs(nv-400) > 2 {
+		t.Fatalf("post-recovery NV = %v, want ~400 buffered arrivals", nv)
+	}
+	done, end := q.ServeSlice(1)
+	if !done {
+		t.Fatal("recovery drain did not finish")
+	}
+	q.EndService(end)
+	if q.Drops != 0 {
+		t.Fatalf("drops = %d, want 0 below capacity", q.Drops)
+	}
+}
+
+func TestDarkQueueOverflowDrops(t *testing.T) {
+	q := newQ(10e6, Options{Cap: 500, TxBatch: 1}) // fills the 500-slot ring in 50us
+	q.SetDark(0, true)
+	// 2ms dark at 10 Mpps offers 20000 packets against a 500-slot ring.
+	q.BeginService(2e-3, 15e6)
+	q.EndService(2e-3 + 0.2*us)
+	if q.Drops < 19000 {
+		t.Fatalf("drops = %d, want ~19500 overflow during the blackout", q.Drops)
+	}
+	if got := q.occ; math.Abs(got-500) > 1 {
+		t.Fatalf("occupancy = %v, want pinned at capacity", got)
+	}
+	// Recovery drains the surviving ring contents.
+	q.SetDark(2.1e-3, false)
+	nv := q.BeginService(2.2e-3, 30e6)
+	if nv < 500 {
+		t.Fatalf("post-recovery NV = %v, want >= ring capacity's worth", nv)
+	}
+}
+
+func TestSetDarkIdempotent(t *testing.T) {
+	q := newQ(1e6, DefaultOptions())
+	q.SetDark(0, true)
+	q.SetDark(10*us, true) // no-op: must not re-sync or flip anything
+	if !q.Dark() {
+		t.Fatal("dark flag lost")
+	}
+	q.SetDark(20*us, false)
+	q.SetDark(30*us, false)
+	if q.Dark() {
+		t.Fatal("dark flag stuck")
+	}
+}

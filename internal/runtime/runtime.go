@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"metronome/internal/apps"
+	"metronome/internal/faults"
 	"metronome/internal/hrtimer"
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
@@ -162,6 +163,14 @@ type Config struct {
 	// plane samples it; the work-stealing discipline reads occupancy from
 	// it. Producers should AddDrops/AddRx on it for loss visibility.
 	Bus *telemetry.Bus
+	// Faults, when set, is the deterministic fault-injection plane the
+	// retrieval goroutines consult on their cycle path: dead threads park in
+	// a revival-polling sleep, stalled threads sleep through their windows
+	// (stall bounds are seconds on the Elapsed clock), dark queues win their
+	// lock but skip the drain while the ring backs up, and frozen queues
+	// stop publishing telemetry. Nil keeps the hot path to one pointer test
+	// per wakeup.
+	Faults *faults.Injector
 	// Dephase enables turn-aware wake de-phasing in the shared-queue
 	// disciplines (see sched.Dephaser).
 	Dephase bool
@@ -219,6 +228,7 @@ type Runner struct {
 	group   sched.GroupPolicy // non-nil when the policy binds service groups
 	dephase sched.Dephaser    // non-nil when the policy staggers group wakes
 	bus     *telemetry.Bus    // nil unless Config.Bus
+	faults  *faults.Injector  // nil unless Config.Faults
 	lens    []func() int      // per-queue occupancy probes (nil if unknowable)
 	occAt   []atomic.Int64    // per-queue nanotime of the last OccAvg fold
 	state   []queueState
@@ -313,6 +323,7 @@ func newRunner(queues []RxQueue, handler Handler, procs []apps.BurstProcessor, e
 	r.group, _ = r.policy.(sched.GroupPolicy)
 	r.dephase, _ = r.policy.(sched.Dephaser)
 	r.bus = cfg.Bus
+	r.faults = cfg.Faults
 	r.teamSize.Store(int32(cfg.M))
 	// Occupancy probes: any queue exposing Len (RxRing does) feeds the
 	// telemetry plane; opaque sources simply stay dark on that signal.
@@ -376,9 +387,12 @@ func seconds(s float64) time.Duration { return time.Duration(s * float64(time.Se
 
 // Run blocks, serving queues until ctx is cancelled. It may be called once.
 func (r *Runner) Run(ctx context.Context) {
-	r.start = time.Now()
 	var wg sync.WaitGroup
 	r.resizeMu.Lock()
+	// Written under resizeMu so Elapsed can read it from any goroutine; the
+	// retrieval goroutines are spawned below while the lock is held, so
+	// their unguarded nanotime reads see it via the spawn happens-before.
+	r.start = time.Now()
 	r.runCtx = ctx
 	r.wg = &wg
 	r.running = true
@@ -514,6 +528,37 @@ func (r *Runner) park(ctx context.Context, id int) bool {
 
 func (r *Runner) nanotime() int64 { return int64(time.Since(r.start)) }
 
+// Elapsed returns seconds since Run started — the runner's monotonic clock.
+// Fault stall windows and the heartbeat gauge are expressed on it, so the
+// elastic health layer never does cross-clock arithmetic (the sim substrate
+// publishes virtual seconds on the same contract: heartbeats are compared by
+// value change, never subtracted from another clock). Zero before Run.
+func (r *Runner) Elapsed() float64 {
+	r.resizeMu.Lock()
+	start := r.start
+	r.resizeMu.Unlock()
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start).Seconds()
+}
+
+// pubGauges reports whether queue q's telemetry gauges should publish: a bus
+// is attached and the fault plane has not frozen the queue's telemetry.
+func (r *Runner) pubGauges(q int) bool {
+	return r.bus != nil && (r.faults == nil || !r.faults.TelemetryFrozen(q))
+}
+
+// ThreadHome returns the queue goroutine id is homed on under the current
+// placement — the target the elastic health layer aims corrective plans at
+// when it exiles an unhealthy member.
+func (r *Runner) ThreadHome(id int) int {
+	if r.group != nil {
+		return r.group.HomeQueue(id)
+	}
+	return id % len(r.queues)
+}
+
 // threadLoop is Listing 2 on a goroutine.
 func (r *Runner) threadLoop(ctx context.Context, id int) {
 	// Each thread owns a private RNG stream (PickBackupQueue consumes it on
@@ -547,8 +592,24 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			}
 			continue
 		}
+		if f := r.faults; f != nil {
+			if f.Dead(id) {
+				// Thread death: stop cycling (the heartbeat freezes, which is
+				// how the health layer notices) but keep polling the flag so
+				// a revival resumes service without a placement round-trip.
+				r.cfg.Sleeper.Sleep(seconds(r.policy.TL(q)))
+				continue
+			}
+			if until, ok := f.StalledUntil(id); ok {
+				if now := r.Elapsed(); now < until {
+					// Stall: sleep through the window without contending.
+					r.cfg.Sleeper.Sleep(seconds(until - now))
+					continue
+				}
+			}
+		}
 		r.Stats.Tries.Add(1)
-		if r.bus != nil {
+		if r.pubGauges(q) {
 			r.bus.AddTries(q, 1)
 		}
 		// Shared-queue disciplines CAS-claim the queue's service turn
@@ -560,9 +621,10 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		st := &r.state[q]
 		if (r.group != nil && !r.group.ClaimTurn(q)) || !st.lock.CompareAndSwap(false, true) {
 			r.Stats.BusyTries.Add(1)
-			if r.bus != nil {
+			if r.pubGauges(q) {
 				r.bus.AddBusyTries(q, 1)
 				r.publishOcc(q, r.nanotime())
+				r.bus.BumpPub(q)
 			}
 			tl := r.policy.TL(q)
 			q = r.policy.PickBackupQueue(q, rng)
@@ -576,7 +638,23 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		}
 		began := r.nanotime()
 		vacation := time.Duration(began - st.lastRelease.Load())
-		for {
+		if r.pubGauges(q) {
+			// Occupancy samples BEFORE the drain. The cycle below is
+			// work-conserving — it polls until empty — so an end-of-cycle
+			// sample reads the same just-drained phase every time and the
+			// gauge pins at zero however deep the vacation backlog ran. A
+			// zero occupancy gauge is not cosmetic: the health layer reads
+			// "drops rising while the ring reads empty" as a dark queue and
+			// discards the loss signal, blinding the controller to genuine
+			// overload.
+			r.publishOcc(q, began)
+		}
+		dark := r.faults != nil && r.faults.QueueDark(q)
+		for !dark {
+			// A dark queue's lock winner skips the drain entirely: the poll
+			// "sees" an empty ring while the producer keeps enqueuing, so the
+			// backlog (and, past capacity, the producer-side drops) build
+			// exactly like a blacked-out NIC queue.
 			n := r.queues[q].PollBurst(buf)
 			if n == 0 {
 				break
@@ -589,7 +667,7 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			}
 			r.Stats.Packets.Add(uint64(n))
 			r.Stats.Bursts.Add(1)
-			if r.bus != nil {
+			if r.pubGauges(q) {
 				r.bus.AddRx(q, uint64(n))
 			}
 		}
@@ -606,9 +684,15 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 		st.lock.Store(false)
 		if r.bus != nil {
 			busyTotal += busy
-			r.bus.SetRho(q, r.policy.Rho(q))
-			r.bus.SetThreadBusy(id, busyTotal.Seconds())
-			r.publishOcc(q, ended)
+			if r.pubGauges(q) {
+				r.bus.SetRho(q, r.policy.Rho(q))
+				r.bus.SetThreadBusy(id, busyTotal.Seconds())
+				r.bus.BumpPub(q)
+			}
+			// The heartbeat publishes even through a telemetry freeze:
+			// staleness is a property of the queue's gauges, liveness of the
+			// thread — the health layer tells them apart by which one moves.
+			r.bus.SetHeartbeat(id, time.Duration(ended).Seconds())
 		}
 
 		// Shared-queue disciplines keep service groups stable: a member

@@ -21,7 +21,9 @@ func BenchmarkTelemetrySample(b *testing.B) {
 		bus.SetRx(q, uint64(i))
 		bus.SetTries(q, uint64(i))
 		bus.SetBusyTries(q, uint64(i))
+		bus.BumpPub(q)
 		bus.SetThreadBusy(i&15, float64(i))
+		bus.SetHeartbeat(i&15, float64(i))
 		bus.Sample(&s)
 	}
 }

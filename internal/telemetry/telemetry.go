@@ -51,7 +51,9 @@ type Bus struct {
 	rx       []slot // per-queue received packets (counter)
 	tries    []slot // per-queue trylock attempts (counter)
 	busyTry  []slot // per-queue failed trylock attempts (counter)
+	pub      []slot // per-queue publish sequence (counter)
 	busy     []slot // per-thread cumulative on-CPU seconds (gauge)
+	hb       []slot // per-thread heartbeat: last cycle-completion time (gauge)
 }
 
 // NewBus builds a bus over nQueues queues and maxThreads thread slots.
@@ -77,7 +79,9 @@ func NewBus(nQueues, maxThreads int) *Bus {
 		rx:       make([]slot, nQueues),
 		tries:    make([]slot, nQueues),
 		busyTry:  make([]slot, nQueues),
+		pub:      make([]slot, nQueues),
 		busy:     make([]slot, maxThreads),
+		hb:       make([]slot, maxThreads),
 	}
 }
 
@@ -172,6 +176,42 @@ func (b *Bus) AddBusyTries(q int, n uint64) { b.busyTry[q].add(n) }
 // BusyTries returns queue q's cumulative failed-trylock count.
 func (b *Bus) BusyTries(q int) uint64 { return b.busyTry[q].load() }
 
+// BumpPub advances queue q's publish-sequence counter. Substrates bump it
+// once per per-queue publish block (a wake-time occupancy store, a
+// cycle-end gauge batch), so an observer that sees the sequence hold still
+// across its own sampling cadence knows the queue's gauges are STALE — the
+// last values may be arbitrarily old. This is deliberately a sequence, not
+// a timestamp: the two substrates run on different clocks (virtual seconds
+// vs. nanoseconds since runner start) and the controller has a third, so
+// "has anything been published since I last looked" is the only staleness
+// question every combination can answer exactly.
+func (b *Bus) BumpPub(q int) { b.pub[q].add(1) }
+
+// PubSeq returns queue q's publish-sequence counter.
+func (b *Bus) PubSeq(q int) uint64 { return b.pub[q].load() }
+
+// SetHeartbeat publishes thread t's heartbeat: the substrate timestamp of
+// its last completed service cycle (virtual seconds in the sim, seconds
+// since runner start live). The health layer does not compare the value
+// against its own clock — cycle times strictly increase, so "did the value
+// change since K control periods ago" detects a stalled or dead member
+// without any cross-clock arithmetic. Indices beyond the sized budget are
+// dropped, not faulted.
+func (b *Bus) SetHeartbeat(t int, ts float64) {
+	if t < b.nt {
+		b.hb[t].storeF(ts)
+	}
+}
+
+// Heartbeat returns thread t's last published heartbeat (zero beyond the
+// sized budget, and for a thread that never completed a cycle).
+func (b *Bus) Heartbeat(t int) float64 {
+	if t >= b.nt {
+		return 0
+	}
+	return b.hb[t].loadF()
+}
+
 // SetThreadBusy publishes thread t's cumulative on-CPU seconds. Indices
 // beyond the sized budget are dropped, not faulted.
 func (b *Bus) SetThreadBusy(t int, seconds float64) {
@@ -194,8 +234,8 @@ func (b *Bus) ThreadBusy(t int) float64 {
 // allocates nothing.
 type Snapshot struct {
 	Occ, OccAvg, Cap, Rho, OccSlope, Rate []float64
-	Drops, Rx, Tries, BusyTr              []uint64
-	ThreadBusy                            []float64
+	Drops, Rx, Tries, BusyTr, PubSeq      []uint64
+	ThreadBusy, Heartbeat                 []float64
 }
 
 // Sample fills dst with the current slot values, growing its slices only
@@ -211,7 +251,9 @@ func (b *Bus) Sample(dst *Snapshot) {
 	dst.Rx = sizedU(dst.Rx, b.nq)
 	dst.Tries = sizedU(dst.Tries, b.nq)
 	dst.BusyTr = sizedU(dst.BusyTr, b.nq)
+	dst.PubSeq = sizedU(dst.PubSeq, b.nq)
 	dst.ThreadBusy = sizedF(dst.ThreadBusy, b.nt)
+	dst.Heartbeat = sizedF(dst.Heartbeat, b.nt)
 	for q := 0; q < b.nq; q++ {
 		dst.Occ[q] = b.occ[q].loadF()
 		dst.OccAvg[q] = b.occAvg[q].loadF()
@@ -223,9 +265,11 @@ func (b *Bus) Sample(dst *Snapshot) {
 		dst.Rx[q] = b.rx[q].load()
 		dst.Tries[q] = b.tries[q].load()
 		dst.BusyTr[q] = b.busyTry[q].load()
+		dst.PubSeq[q] = b.pub[q].load()
 	}
 	for t := 0; t < b.nt; t++ {
 		dst.ThreadBusy[t] = b.busy[t].loadF()
+		dst.Heartbeat[t] = b.hb[t].loadF()
 	}
 }
 

@@ -83,6 +83,42 @@ func TestSampleFillsSnapshot(t *testing.T) {
 	}
 }
 
+func TestHeartbeatGauge(t *testing.T) {
+	b := NewBus(1, 2)
+	if b.Heartbeat(0) != 0 {
+		t.Fatal("fresh heartbeat not zero")
+	}
+	b.SetHeartbeat(0, 1.25)
+	b.SetHeartbeat(1, 2.5)
+	b.SetHeartbeat(9, 99) // beyond budget: dropped, not faulted
+	if b.Heartbeat(0) != 1.25 || b.Heartbeat(1) != 2.5 || b.Heartbeat(9) != 0 {
+		t.Fatalf("heartbeats: %v %v %v", b.Heartbeat(0), b.Heartbeat(1), b.Heartbeat(9))
+	}
+	var s Snapshot
+	b.Sample(&s)
+	if len(s.Heartbeat) != 2 || s.Heartbeat[1] != 2.5 {
+		t.Fatalf("snapshot heartbeat: %v", s.Heartbeat)
+	}
+}
+
+func TestPubSeqCounter(t *testing.T) {
+	b := NewBus(2, 1)
+	if b.PubSeq(0) != 0 {
+		t.Fatal("fresh pub seq not zero")
+	}
+	b.BumpPub(0)
+	b.BumpPub(0)
+	b.BumpPub(1)
+	if b.PubSeq(0) != 2 || b.PubSeq(1) != 1 {
+		t.Fatalf("pub seqs: %d %d", b.PubSeq(0), b.PubSeq(1))
+	}
+	var s Snapshot
+	b.Sample(&s)
+	if s.PubSeq[0] != 2 || s.PubSeq[1] != 1 {
+		t.Fatalf("snapshot pub seqs: %v", s.PubSeq)
+	}
+}
+
 // The elastic controller samples the bus every control period; the hot path
 // contract is zero allocations for both publish and (warm) sample.
 func TestPublishAndSampleAllocationFree(t *testing.T) {
@@ -94,6 +130,8 @@ func TestPublishAndSampleAllocationFree(t *testing.T) {
 		b.AddDrops(2, 1)
 		b.SetRho(2, 0.5)
 		b.SetThreadBusy(3, 1)
+		b.SetHeartbeat(3, 1)
+		b.BumpPub(2)
 		b.Sample(&s)
 	})
 	if allocs != 0 {

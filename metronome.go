@@ -29,6 +29,7 @@ import (
 	"metronome/internal/core"
 	"metronome/internal/elastic"
 	"metronome/internal/experiments"
+	"metronome/internal/faults"
 	"metronome/internal/hrtimer"
 	"metronome/internal/mbuf"
 	"metronome/internal/model"
@@ -255,6 +256,58 @@ func NewElasticController(bus *TelemetryBus, team ElasticTeam, cfg ElasticConfig
 	return elastic.New(bus, team, cfg)
 }
 
+// --- fault plane ---------------------------------------------------------------
+
+// The fault plane injects deterministic failures underneath either
+// substrate: wire an injector into RunnerConfig.Faults (or SimConfig.Faults)
+// and flip its flags from tests, chaos schedules, or SimulateFaults. The
+// elastic controller's health layer (ElasticConfig.Health) is the matching
+// defence: heartbeat liveness, stale-gauge rejection, straggler exile and a
+// safe-team fallback.
+type (
+	// FaultInjector is the shared set of atomic fault flags both substrates
+	// consult on their cycle paths. A nil injector costs one branch.
+	FaultInjector = faults.Injector
+	// FaultEvent is one scheduled flag flip (at virtual time At).
+	FaultEvent = faults.Event
+	// FaultKind enumerates the failure vocabulary.
+	FaultKind = faults.Kind
+)
+
+// The injectable failure kinds.
+const (
+	// FaultThreadStall preempts a member until the Until timestamp.
+	FaultThreadStall = faults.ThreadStall
+	// FaultThreadDeath removes a member outright until revived.
+	FaultThreadDeath = faults.ThreadDeath
+	// FaultThreadRevive returns a dead member to service.
+	FaultThreadRevive = faults.ThreadRevive
+	// FaultQueueBlackout makes a queue's drains see an empty ring.
+	FaultQueueBlackout = faults.QueueBlackout
+	// FaultQueueRecover ends a blackout.
+	FaultQueueRecover = faults.QueueRecover
+	// FaultTelemetryFreeze pins a queue's gauges at their last values.
+	FaultTelemetryFreeze = faults.TelemetryFreeze
+	// FaultTelemetryThaw resumes a queue's gauge publishing.
+	FaultTelemetryThaw = faults.TelemetryThaw
+	// FaultControllerDown suppresses the controller's tick source.
+	FaultControllerDown = faults.ControllerDown
+	// FaultControllerUp restores the controller's tick source.
+	FaultControllerUp = faults.ControllerUp
+)
+
+// NewFaultInjector builds an injector over maxThreads thread slots and
+// nQueues queues (size it for the elastic budget, not the initial team).
+func NewFaultInjector(maxThreads, nQueues int) *FaultInjector {
+	return faults.New(maxThreads, nQueues)
+}
+
+// StragglerStorm appends a periodic stall storm against one thread: every
+// period in [from, before), the thread stalls for stall seconds.
+func StragglerStorm(evs []FaultEvent, thread int, from, before, period, stall float64) []FaultEvent {
+	return faults.Storm(evs, thread, from, before, period, stall)
+}
+
 // --- analytical model ---------------------------------------------------------
 
 // AdaptiveTS is eq. (13)/(14): the short timeout that holds the mean
@@ -357,6 +410,48 @@ func SimulateElastic(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, dura
 	}
 	ctrl := elastic.New(cfg.Bus, rt, ecfg)
 	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })
+	d := duration.Seconds()
+	eng.RunUntil(d)
+	rep := ctrl.Report(d)
+	rep.ThreadSeconds = rt.ProvisionedThreadSeconds(d)
+	if d > 0 {
+		rep.MeanThreads = rep.ThreadSeconds / d
+	}
+	return rt.Snapshot(d), rep
+}
+
+// SimulateFaults is SimulateElastic under a deterministic fault schedule:
+// events fire as engine events against an injector wired into the
+// deployment (cfg.Faults is overwritten), and ControllerDown windows
+// suppress the controller's tick source. With ecfg.Health set, this is the
+// self-healing loop of the fig-faults experiment; without it, the oblivious
+// baseline. Runs are byte-identical per seed at any parallelism.
+func SimulateFaults(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, duration time.Duration, events []FaultEvent) (SimMetrics, ElasticReport) {
+	eng := sim.New()
+	root := xrand.New(cfg.Seed)
+	queues := make([]*nic.Queue, len(arrivals))
+	for i, p := range arrivals {
+		queues[i] = nic.NewQueue(i, p, root.Split(), ringOptions(cfg))
+	}
+	budget := cfg.M
+	if ecfg.Budget > budget {
+		budget = ecfg.Budget
+	}
+	cfg.Bus = telemetry.NewBus(len(arrivals), budget)
+	inj := faults.New(budget, len(arrivals))
+	cfg.Faults = inj
+	rt := core.New(eng, queues, cfg)
+	rt.Start()
+	if ecfg.MinThreads == 0 {
+		ecfg.MinThreads = len(arrivals)
+	}
+	ctrl := elastic.New(cfg.Bus, rt, ecfg)
+	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() {
+		if !inj.ControllerSuppressed() {
+			ctrl.Tick(eng.Now())
+		}
+	})
+	faults.Schedule(eng, inj, events)
 	d := duration.Seconds()
 	eng.RunUntil(d)
 	rep := ctrl.Report(d)

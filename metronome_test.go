@@ -220,6 +220,50 @@ func TestPublicPlacementAPI(t *testing.T) {
 	}
 }
 
+// TestPublicFaultAPI drives the fault plane end to end through the facade:
+// a straggler storm against the sole member of a queue's service group
+// starves the queue, the self-healing health layer exiles the straggler and
+// reinforces the queue, the oblivious controller stays blind (the stalled
+// member is also the queue's only gauge publisher, so its telemetry
+// freezes at pre-fault values), and identical runs are identical.
+func TestPublicFaultAPI(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 2
+	cfg.Policy = metronome.PolicyRMetronome
+	cfg.Seed = 11
+	// The ring must outlast detection: at 150 Kpps a 2048-slot ring buys
+	// ~13.6 ms, past the health layer's ~8 ms heartbeat bound, so the
+	// self-healing arm can exile before the victim queue overflows.
+	cfg.RingCap = 2048
+	arrivals := []metronome.Traffic{
+		metronome.CBR{PPS: 150e3}, // the storm's victim queue
+		metronome.CBR{PPS: 1e6},
+	}
+	evs := metronome.StragglerStorm(nil, 0, 0.08, 0.26, 0.03, 0.02)
+	run := func(health bool) (metronome.SimMetrics, metronome.ElasticReport) {
+		ecfg := metronome.DefaultElasticConfig(2, 4)
+		ecfg.TargetOccupancy = 0.05
+		ecfg.Placement = true
+		ecfg.Health = health
+		return metronome.SimulateFaults(cfg, ecfg, arrivals, 300*time.Millisecond, evs)
+	}
+	mHeal, rHeal := run(true)
+	mObli, _ := run(false)
+	if rHeal.Exiles == 0 {
+		t.Fatalf("health layer never exiled the straggler: %+v", rHeal)
+	}
+	if mObli.Drops < 2000 {
+		t.Fatalf("storm too soft to discriminate: oblivious dropped %d", mObli.Drops)
+	}
+	if 3*mHeal.Drops >= mObli.Drops {
+		t.Fatalf("self-healing dropped %d vs oblivious %d: no rescue", mHeal.Drops, mObli.Drops)
+	}
+	m2, r2 := run(true)
+	if mHeal.Cycles != m2.Cycles || mHeal.Drops != m2.Drops || rHeal.Exiles != r2.Exiles {
+		t.Fatalf("faulted runs diverged:\n%+v %+v\n%+v %+v", mHeal, rHeal, m2, r2)
+	}
+}
+
 // TestSimulateRingCap pins the -cap knob: a smaller ring must actually
 // bound the queue (more drops under a burst than the default ring).
 func TestSimulateRingCap(t *testing.T) {
