@@ -30,6 +30,8 @@ func main() {
 		placement = flag.Bool("placement", false, "upgrade -elastic to the placement plane (per-queue apportionment + slope feedforward) on the common single-queue path; implies -elastic")
 		capacity  = flag.Int64("cap", 0, "override the Rx descriptor-ring capacity for deployments on the common single-queue path that do not pin their own (0 = nic default 576)")
 		parallel  = flag.Int("parallel", 0, "simulations to run concurrently per sweep (0 = GOMAXPROCS); output is identical at any setting")
+		objective = flag.String("objective", "", "override the elastic cost objective for experiments that attach the controller: thread-seconds|joules")
+		hist      = flag.Bool("hist", true, "render the exact log-scale latency-tail panels for experiments that publish them (-hist=false drops them)")
 		doc       = flag.Bool("doc", false, "print the EXPERIMENTS.md paper-vs-measured skeleton and exit")
 	)
 	flag.Parse()
@@ -44,6 +46,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "metrobench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *objective != "" && *objective != "thread-seconds" && *objective != "joules" {
+		fmt.Fprintf(os.Stderr, "metrobench: -objective must be thread-seconds or joules, not %q\n", *objective)
+		os.Exit(1)
 	}
 	if *placement {
 		// Per-queue apportionment only lands for placement-capable
@@ -70,7 +76,7 @@ func main() {
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Policy: *policy,
 		Elastic: *elastic, Placement: *placement, RingCap: *capacity,
-		Parallel: *parallel,
+		Parallel: *parallel, Objective: *objective, NoHist: !*hist,
 	}
 	if *run == "all" {
 		for _, e := range experiments.All() {

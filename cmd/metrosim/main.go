@@ -48,6 +48,7 @@ func main() {
 		elasticOcc    = flag.Float64("elastic-occ", 0.10, "elastic wake-time occupancy target (fraction of ring capacity)")
 		placement     = flag.Bool("placement", false, "upgrade -elastic to the placement plane: apportion members per queue by wake-occupancy share (requires -elastic)")
 		slopeGain     = flag.Float64("slope-gain", 0, "elastic occupancy-slope feedforward lookahead, in control periods (0 = off)")
+		objective     = flag.String("objective", "thread-seconds", "elastic cost objective: thread-seconds|joules (joules inflates the shrink target by the modelled energy saving)")
 	)
 	flag.Parse()
 
@@ -82,6 +83,10 @@ func main() {
 	}
 	if *placement && !*elastic {
 		fmt.Fprintln(os.Stderr, "metrosim: -placement requires -elastic")
+		os.Exit(1)
+	}
+	if *objective != "thread-seconds" && *objective != "joules" {
+		fmt.Fprintf(os.Stderr, "metrosim: -objective must be thread-seconds or joules, not %q\n", *objective)
 		os.Exit(1)
 	}
 	if *placement {
@@ -125,11 +130,15 @@ func main() {
 		ecfg.TargetOccupancy = *elasticOcc
 		ecfg.Placement = *placement
 		ecfg.SlopeGain = *slopeGain
-		met, rep := metronome.SimulateElastic(cfg, ecfg, arrivals, *d)
+		if *objective == "joules" {
+			ecfg.Objective = metronome.ElasticObjectiveJoules
+		}
+		met, rep, joules := metronome.SimulatePower(cfg, ecfg, metronome.PowerConfig{}, arrivals, *d)
 		mode := "elastic"
 		if *placement {
 			mode = "placement-elastic"
 		}
+		mode += " (" + *objective + ")"
 		fmt.Printf("offered:        %.2f Mpps over %d queue(s), %v, policy %s, %s %d..%d\n",
 			pps/1e6, *queues, *d, core.PolicyName(cfg), mode, ecfg.MinThreads, ecfg.Budget)
 		fmt.Printf("throughput:     %.2f Mpps   loss: %.4f permille\n", met.ThroughputPPS/1e6, met.LossRate*1000)
@@ -140,6 +149,8 @@ func main() {
 		if rep.FinalPlan != nil {
 			fmt.Printf("placement:      %d rebalances, final plan %v\n", rep.Rebalances, rep.FinalPlan)
 		}
+		fmt.Printf("energy:         %.2f J modelled over the team budget (%.2f W mean; controller gauge %.2f W)\n",
+			joules, joules/d.Seconds(), rep.MeanWatts)
 		fmt.Printf("busy tries:     %.1f%% of %d lock attempts, %d cycles\n",
 			met.BusyTryFrac*100, met.Tries, met.Cycles)
 		return

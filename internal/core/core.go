@@ -19,6 +19,7 @@ import (
 	"metronome/internal/faults"
 	"metronome/internal/hrtimer"
 	"metronome/internal/nic"
+	"metronome/internal/power"
 	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/stats"
@@ -289,6 +290,17 @@ func New(eng *sim.Engine, queues []*nic.Queue, cfg Config) *Runtime {
 	if r.bus != nil {
 		for q, queue := range queues {
 			r.bus.SetCapacity(q, float64(queue.Opt.Cap))
+			// Publish every tagged packet's exact fluid latency into the
+			// bus histogram (seconds → integer ns). A telemetry freeze
+			// (fault plane) silences the queue's histogram like its
+			// gauges — the latency plane must not leak through an outage
+			// the staleness detector is supposed to see.
+			q := q
+			queue.LatSink = func(lat float64) {
+				if r.pubGauges(q) {
+					r.bus.RecordLatency(q, stats.SecondsToNs(lat))
+				}
+			}
 		}
 	}
 	root := xrand.New(cfg.Seed)
@@ -559,6 +571,40 @@ func (r *Runtime) ResetProvisioned(now float64) {
 		r.provisionedQ[q] = 0
 	}
 	r.provAt = now
+}
+
+// Residency aggregates the team's sleep-state residency over the
+// measurement window: now is the current virtual time, wall the window
+// length (seconds since the warm-up reset), budget the deployment's core
+// budget (>= the team size; surplus cores count as parked). Busy time
+// comes from the CPU accounting, idle time is the provisioned remainder,
+// and the mean sleep dwell is idle time over trylock attempts — each
+// retrieval cycle sleeps once before its trylock, so tries count sleeps
+// exactly under metronome-family policies and approximately (rotation
+// retries inflate the count, shortening the apparent dwell — the
+// conservative direction for energy) under shared-queue ones. Freq is
+// left zero for the caller to fill from its power calibration.
+func (r *Runtime) Residency(now, wall float64, budget int) power.Residency {
+	prov := r.ProvisionedThreadSeconds(now)
+	busy := r.Acct.TotalBusy()
+	idle := prov - busy
+	if idle < 0 {
+		idle = 0
+	}
+	dwell := 0.0
+	if r.Tries.Value > 0 {
+		dwell = idle / float64(r.Tries.Value)
+	}
+	parked := float64(budget)*wall - prov
+	if parked < 0 {
+		parked = 0
+	}
+	return power.Residency{
+		BusySeconds:   busy,
+		IdleSeconds:   idle,
+		ParkedSeconds: parked,
+		MeanDwell:     dwell,
+	}
 }
 
 // Group exposes the shared-queue extension of the policy, or nil when the

@@ -527,3 +527,49 @@ func TestBusPublishesTimeAveragedOccupancy(t *testing.T) {
 		t.Errorf("published average %v wildly above run average %v", avg, runAvg)
 	}
 }
+
+// TestBusLatencyHistogramMatchesExactSample is the sim half of the
+// fidelity-plane equivalence contract: every tagged latency the queue
+// records into its exact Sample is published to the bus histogram through
+// the same value, so bucketing the raw sample by hand must reproduce the
+// bus's buckets exactly.
+func TestBusLatencyHistogramMatchesExactSample(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	cfg.Bus = telemetry.NewBus(1, cfg.M)
+	eng := sim.New()
+	opt := nic.DefaultOptions()
+	opt.TagProb = 0.05 // plenty of tagged packets in a short run
+	q := nic.NewQueue(0, traffic.CBR{PPS: 5e6}, xrand.New(123), opt)
+	r := New(eng, []*nic.Queue{q}, cfg)
+	r.Start()
+	eng.RunUntil(0.05)
+	_ = r.Snapshot(0.05)
+
+	var want stats.LogHistogram
+	for _, v := range q.Lat.Values() {
+		want.Record(stats.SecondsToNs(v))
+	}
+	if want.N() == 0 {
+		t.Fatal("no tagged latencies recorded")
+	}
+	var got stats.LogHistogram
+	cfg.Bus.SampleLatency(0, &got)
+	if got.N() != want.N() {
+		t.Fatalf("bus histogram N=%d, sample N=%d", got.N(), want.N())
+	}
+	for i := 0; i < stats.LogHistBuckets; i++ {
+		if got.CountAt(i) != want.CountAt(i) {
+			t.Fatalf("bucket %d: bus=%d sample=%d", i, got.CountAt(i), want.CountAt(i))
+		}
+	}
+	// And the headline contract: the histogram's tail quantiles track the
+	// exact sample's within one bucket's relative resolution.
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		exact := stats.SecondsToNs(q.Lat.Quantile(p))
+		hist := got.Quantile(p)
+		if hist < exact || float64(hist) > float64(exact)*(1+2.0/stats.LogHistSub)+1 {
+			t.Errorf("p%.3f: hist=%d ns vs exact=%d ns", p*100, hist, exact)
+		}
+	}
+}

@@ -25,9 +25,37 @@ import (
 	"math"
 	"time"
 
+	"metronome/internal/power"
 	"metronome/internal/sched"
 	"metronome/internal/telemetry"
 )
+
+// Objective selects the cost model the size law minimises against loss.
+type Objective int
+
+const (
+	// ObjectiveThreadSeconds (the zero value) is the original law: every
+	// provisioned thread-second costs the same, so the controller holds
+	// the occupancy target as configured. All pre-fidelity-plane tunings
+	// ran under it and stay byte-identical.
+	ObjectiveThreadSeconds Objective = iota
+	// ObjectiveJoules prices the team with Config.Power instead: a parked
+	// core's deep C-state makes shedding a lightly-loaded member worth
+	// more than a thread-second, so the effective occupancy target is
+	// inflated by the calibration's EnergyPressure at the team's measured
+	// duty cycle — large at trough load where the idle floor dominates,
+	// near zero at saturation. The loss override is deliberately left on
+	// the raw error, so loss still dominates any energy saving.
+	ObjectiveJoules
+)
+
+// String names the objective for tables and flags.
+func (o Objective) String() string {
+	if o == ObjectiveJoules {
+		return "joules"
+	}
+	return "thread-seconds"
+}
 
 // Team is a resizable retrieval-thread team; core.Runtime and
 // runtime.Runner both implement it.
@@ -45,7 +73,10 @@ type Team interface {
 // per-queue apportionment. PerQueue sums to Total; a nil PerQueue is the
 // balanced plan (what SetTeamSize applies).
 type Plan struct {
-	Total    int
+	// Total is the team size the plan provisions.
+	Total int
+	// PerQueue holds the members homed on each queue; entries sum to
+	// Total. Nil means the balanced plan.
 	PerQueue []int
 }
 
@@ -138,6 +169,16 @@ type Config struct {
 	// law apportions by — one knob because both exist to filter the same
 	// point-in-time sampling noise at the same control cadence.
 	SlopeAlpha float64
+
+	// Objective selects what the size law minimises: thread-seconds (the
+	// zero value — the original law) or modelled joules. See the
+	// Objective constants for the semantics.
+	Objective Objective
+	// Power is the calibration the joules objective (and the per-tick
+	// Decision.Watts gauge) prices teams with. The zero value is replaced
+	// by power.DefaultConfig() — the Xeon Silver node the experiments
+	// model.
+	Power power.Config
 
 	// Health enables the self-healing layer: stale-gauge rejection (a queue
 	// whose publish sequence stops advancing for StaleTicks control ticks is
@@ -243,6 +284,9 @@ func (c Config) normalized() Config {
 	if c.MaxActuationsPerSec < 0 {
 		c.MaxActuationsPerSec = 0
 	}
+	if c.Power == (power.Config{}) {
+		c.Power = power.DefaultConfig()
+	}
 	return c
 }
 
@@ -264,6 +308,14 @@ type Decision struct {
 	// Rebalanced marks a placement-only move: members migrated between
 	// queues with the team total unchanged.
 	Rebalanced bool
+	// Duty is the team's measured busy fraction over the tick window
+	// (summed on-CPU deltas over cur*dt), the joules objective's input.
+	Duty float64
+	// Watts is the modelled core-only power of the deployment at this
+	// tick: the provisioned team at its measured duty and sleep dwell,
+	// plus the budget's surplus cores parked in deep idle (Config.Power
+	// calibration; uncore power excluded as sizing-invariant).
+	Watts float64
 
 	// Health-layer observability (zero values unless Config.Health is on).
 
@@ -299,16 +351,19 @@ type Controller struct {
 	lastRebalance float64
 	started       bool
 
-	snap      telemetry.Snapshot
-	prevDrops []uint64
-	prevRx    []uint64
-	prevOccF  []float64    // previous tick's per-queue occupancy fractions
-	occEW     []float64    // EWMA per-queue occupancy fraction (placement law)
-	slopes    []float64    // EWMA per-queue occupancy slope (fraction/s)
-	lastPlan  []int        // placement last applied (placement mode only)
-	planBuf   []int        // scratch for the apportionment law
-	remBuf    []float64    // scratch for largest-remainder apportionment
-	health    *healthState // nil unless Config.Health
+	snap         telemetry.Snapshot
+	prevDrops    []uint64
+	prevRx       []uint64
+	prevBusySum  float64      // last tick's summed per-thread on-CPU seconds
+	prevTriesSum uint64       // last tick's summed per-queue trylock counter
+	energy       power.Energy // ∫watts dt behind Report.Joules
+	prevOccF     []float64    // previous tick's per-queue occupancy fractions
+	occEW        []float64    // EWMA per-queue occupancy fraction (placement law)
+	slopes       []float64    // EWMA per-queue occupancy slope (fraction/s)
+	lastPlan     []int        // placement last applied (placement mode only)
+	planBuf      []int        // scratch for the apportionment law
+	remBuf       []float64    // scratch for largest-remainder apportionment
+	health       *healthState // nil unless Config.Health
 
 	// Window stats backing Report.
 	statsFrom     float64
@@ -410,6 +465,8 @@ func (c *Controller) tick(now float64) Decision {
 		for q := 0; q < c.bus.Queues(); q++ {
 			c.prevOccF[q] = c.occFraction(q)
 		}
+		c.prevBusySum, c.prevTriesSum = sumF(c.snap.ThreadBusy), sumU(c.snap.Tries)
+		c.energy.Rebase(now, c.cfg.Power.TeamWatts(cur, 0, 0, c.cfg.Budget-cur))
 		if c.health != nil {
 			c.health.seed(&c.snap, now)
 		}
@@ -492,6 +549,29 @@ func (c *Controller) tick(now float64) Decision {
 		c.prevRx[q] = c.snap.Rx[q]
 	}
 
+	// Measured team duty and sleep dwell over the window — the joules
+	// objective's and the watts gauge's inputs. Deltas resync silently
+	// after a warm-up counter reset, like the drop and rx counters above.
+	busySum, triesSum := sumF(c.snap.ThreadBusy), sumU(c.snap.Tries)
+	busyDelta := busySum - c.prevBusySum
+	if busyDelta < 0 {
+		busyDelta = 0
+	}
+	duty := 0.0
+	if dt > 0 && cur > 0 {
+		duty = clamp(busyDelta/(float64(cur)*dt), 0, 1)
+	}
+	dwell := 0.0
+	if sleeps := triesSum - c.prevTriesSum; triesSum > c.prevTriesSum {
+		if idle := float64(cur)*dt - busyDelta; idle > 0 {
+			dwell = idle / float64(sleeps)
+		}
+	}
+	c.prevBusySum, c.prevTriesSum = busySum, triesSum
+	d.Duty = duty
+	d.Watts = c.cfg.Power.TeamWatts(cur, duty, dwell, c.cfg.Budget-cur)
+	c.energy.Observe(now, d.Watts)
+
 	d.Occupancy, d.Slope, d.LossDelta = occ, slope, lossDelta
 	if safeMode {
 		// The whole bus is stale: every signal below would be an echo, so
@@ -504,7 +584,17 @@ func (c *Controller) tick(now float64) Decision {
 		return c.finishTick(d)
 	}
 
-	e := (occ - c.cfg.TargetOccupancy) / c.cfg.TargetOccupancy
+	target := c.cfg.TargetOccupancy
+	if c.cfg.Objective == ObjectiveJoules {
+		// The joules objective tolerates proportionally more backlog per
+		// ring when the idle floor dominates the bill: inflating the
+		// target by the calibration's energy pressure sheds marginal
+		// members at trough duty and converges on the thread-seconds law
+		// as duty approaches saturation. Loss is added to the raw error
+		// below, NOT scaled — a dropping queue out-shouts any saving.
+		target *= 1 + c.cfg.Power.EnergyPressure(duty)
+	}
+	e := (occ - target) / target
 	if lossDelta > 0 {
 		e += c.cfg.LossGain
 	}
@@ -712,6 +802,13 @@ type Report struct {
 	MinThreads, MaxThreads int
 	// Final is the team size at report time.
 	Final int
+	// Joules is ∫watts dt over the window: the modelled core-only energy
+	// of the deployment (team + parked budget cores) under Config.Power.
+	// It accrues under every objective, so thread-seconds and joules runs
+	// are energy-comparable.
+	Joules float64
+	// MeanWatts is Joules normalised by the window length.
+	MeanWatts float64
 	// FinalPlan is the per-queue placement at report time (nil when the
 	// controller actuates through the scalar path).
 	FinalPlan []int
@@ -741,9 +838,21 @@ func (c *Controller) Report(now float64) Report {
 	if wall > 0 {
 		mean = ts / wall
 	}
+	joules := c.energy.Joules()
+	if c.started && now > c.lastTick {
+		// Extrapolate the tail past the last tick at its modelled watts,
+		// mirroring the thread-seconds tail above.
+		joules += c.last.Watts * (now - c.lastTick)
+	}
+	meanW := 0.0
+	if wall > 0 {
+		meanW = joules / wall
+	}
 	rep := Report{
 		ThreadSeconds: ts,
 		MeanThreads:   mean,
+		Joules:        joules,
+		MeanWatts:     meanW,
 		Resizes:       c.resizes,
 		Rebalances:    c.rebalances,
 		MinThreads:    c.minSeen,
@@ -768,6 +877,8 @@ func (c *Controller) ResetStats(now float64) {
 	cur := c.team.TeamSize()
 	c.statsFrom, c.lastTick = now, now
 	c.threadSeconds = 0
+	c.energy.Reset()
+	c.energy.Rebase(now, c.last.Watts)
 	c.resizes, c.rebalances = 0, 0
 	c.minSeen, c.maxSeen = cur, cur
 	if h := c.health; h != nil {
@@ -794,6 +905,22 @@ func (c *Controller) Run(ctx context.Context) {
 			c.Tick(time.Since(start).Seconds())
 		}
 	}
+}
+
+func sumF(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func sumU(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -461,3 +461,113 @@ func TestAvgOccSignalSwitch(t *testing.T) {
 		t.Fatalf("no growth on averaged-occupancy spike: %+v", d)
 	}
 }
+
+func newObjectiveRig(obj Objective, start int) (*telemetry.Bus, *fakeTeam, *Controller) {
+	bus := telemetry.NewBus(2, 8)
+	bus.SetCapacity(0, 4096)
+	bus.SetCapacity(1, 4096)
+	team := &fakeTeam{size: start, floor: 2}
+	cfg := DefaultConfig(2, 8)
+	cfg.Objective = obj
+	return bus, team, New(bus, team, cfg)
+}
+
+// TestJoulesObjectivePrefersSmallerTeamAtEqualLoss: at a lossless trough
+// where occupancy sits moderately above the thread-seconds target, the
+// joules objective's inflated target (idle-core watts make small teams
+// cheaper) must settle a strictly smaller team than the thread-seconds
+// law does from the same signals.
+func TestJoulesObjectivePrefersSmallerTeamAtEqualLoss(t *testing.T) {
+	busTS, _, ts := newObjectiveRig(ObjectiveThreadSeconds, 6)
+	busJ, _, j := newObjectiveRig(ObjectiveJoules, 6)
+	ts.Tick(0)
+	j.Tick(0)
+	now := 0.0
+	var lastTS, lastJ Decision
+	for i := 0; i < 400; i++ {
+		now += 0.001
+		// Occupancy 13% of the ring: above the 10% thread-seconds target
+		// (hold/grow pressure) but below the energy-inflated one at trough
+		// duty (shrink pressure). No drops anywhere: equal, zero loss.
+		for _, bus := range []*telemetry.Bus{busTS, busJ} {
+			bus.SetOccupancy(0, 0.13*4096)
+			bus.SetOccupancy(1, 0.13*4096)
+		}
+		lastTS = ts.Tick(now)
+		lastJ = j.Tick(now)
+	}
+	if lastJ.Applied >= lastTS.Applied {
+		t.Fatalf("joules team %d !< thread-seconds team %d at equal (zero) loss",
+			lastJ.Applied, lastTS.Applied)
+	}
+	if lastJ.Applied < 2 {
+		t.Fatalf("joules team %d under the floor", lastJ.Applied)
+	}
+}
+
+// TestJoulesLossOverrideStillWins: under the joules objective, persistent
+// loss must out-shout the energy saving exactly as it does thread-seconds
+// — the override adds to the raw error, not the scaled target.
+func TestJoulesLossOverrideStillWins(t *testing.T) {
+	bus, _, c := newObjectiveRig(ObjectiveJoules, 2)
+	c.Tick(0)
+	bus.SetOccupancy(0, 0.05*4096) // below even the base target
+	drops := uint64(0)
+	now := 0.0
+	grewTo := 0
+	for i := 0; i < 20; i++ {
+		drops += 500
+		bus.SetDrops(0, drops)
+		now += 0.001
+		grewTo = c.Tick(now).Applied
+	}
+	if grewTo < 6 {
+		t.Fatalf("sustained loss under joules objective only grew the team to %d of budget 8", grewTo)
+	}
+}
+
+// TestWattsGaugeAndReportJoules checks the energy accounting spine: every
+// tick models team watts (parked budget cores included), the report
+// integrates them into joules, and a busier team models hotter.
+func TestWattsGaugeAndReportJoules(t *testing.T) {
+	bus, _, c := newObjectiveRig(ObjectiveThreadSeconds, 4)
+	c.Tick(0)
+	now := 0.0
+	busy := 0.0
+	var idleW, busyW float64
+	cur := 0
+	for i := 0; i < 100; i++ {
+		now += 0.001
+		// Hold occupancy on target so the team size stays put and the
+		// watts gauge is a pure function of shape.
+		bus.SetOccupancy(0, 0.10*4096)
+		bus.SetOccupancy(1, 0.10*4096)
+		d := c.Tick(now)
+		idleW, cur = d.Watts, d.Applied
+		if d.Duty != 0 {
+			t.Fatalf("duty %v with no busy published", d.Duty)
+		}
+	}
+	pc := c.Config().Power
+	// cur members idling shallow + the rest of the budget parked deep,
+	// core-only.
+	wantIdle := float64(cur)*pc.IdleCore + float64(8-cur)*pc.DeepIdle
+	if diff := idleW - wantIdle; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("idle watts = %v, want %v (team %d)", idleW, wantIdle, cur)
+	}
+	for i := 0; i < 100; i++ {
+		now += 0.001
+		busy += 4 * 0.001 // all four members flat out
+		for th := 0; th < 4; th++ {
+			bus.SetThreadBusy(th, busy/4)
+		}
+		busyW = c.Tick(now).Watts
+	}
+	if busyW <= idleW {
+		t.Fatalf("busy watts %v <= idle watts %v", busyW, idleW)
+	}
+	rep := c.Report(now)
+	if rep.Joules <= 0 || rep.MeanWatts <= idleW*0.5 || rep.MeanWatts >= busyW*1.5 {
+		t.Fatalf("report joules=%v meanWatts=%v (idle %v, busy %v)", rep.Joules, rep.MeanWatts, idleW, busyW)
+	}
+}

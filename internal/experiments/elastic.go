@@ -68,20 +68,63 @@ func elasticSpec(policy string, m int, procs []traffic.Process, d, warmup float6
 	}
 }
 
+// elasticResult is one arm's rendered row plus its exact-histogram
+// latency-tail cells (read off the telemetry bus after the run).
+type elasticResult struct {
+	row   []string
+	tails []string
+}
+
 // elasticRow renders one arm: loss/CPU/vacation on the left, the
-// provisioning account on the right.
-func elasticRow(mode elasticMode, procs []traffic.Process, d, warmup float64, seed uint64) []string {
-	_, met, rep := runMetronomeElastic(elasticSpec(mode.policy, mode.m, procs, d, warmup, seed, mode.ecfg))
-	return []string{
-		mode.name,
-		permille(met.LossRate),
-		pct(met.CPUPercent),
-		pct(met.BusyTryFrac * 100),
-		us(met.MeanVacation),
-		f1(rep.ThreadSeconds * 1e3), // thread-milliseconds: readable at these windows
-		f2(rep.MeanThreads),
-		fmt.Sprintf("%d..%d", rep.MinThreads, rep.MaxThreads),
-		fmt.Sprintf("%d", rep.Resizes),
+// provisioning account on the right, tails carried separately.
+func elasticRow(mode elasticMode, procs []traffic.Process, d, warmup float64, seed uint64) elasticResult {
+	rt, met, rep := runMetronomeElastic(elasticSpec(mode.policy, mode.m, procs, d, warmup, seed, mode.ecfg))
+	return elasticResult{
+		row: []string{
+			mode.name,
+			permille(met.LossRate),
+			pct(met.CPUPercent),
+			pct(met.BusyTryFrac * 100),
+			us(met.MeanVacation),
+			f1(rep.ThreadSeconds * 1e3), // thread-milliseconds: readable at these windows
+			f2(rep.MeanThreads),
+			fmt.Sprintf("%d..%d", rep.MinThreads, rep.MaxThreads),
+			fmt.Sprintf("%d", rep.Resizes),
+		},
+		tails: append([]string{mode.name}, tailCells(rt, len(procs))...),
+	}
+}
+
+// elasticRows splits results into the main-table rows.
+func elasticRows(results []elasticResult) [][]string {
+	rows := make([][]string, len(results))
+	for i, r := range results {
+		rows[i] = r.row
+	}
+	return rows
+}
+
+// elasticTails splits results into the tail-panel rows.
+func elasticTails(results []elasticResult) [][]string {
+	rows := make([][]string, len(results))
+	for i, r := range results {
+		rows[i] = r.tails
+	}
+	return rows
+}
+
+// tailsTable renders a figure's exact-histogram tail panel: per-packet
+// retrieval latency quantiles over the measured window, from the bus
+// histograms rather than the thinned reservoir sample.
+func tailsTable(id, title string, rows [][]string) *Table {
+	return &Table{
+		ID:      id,
+		Title:   title,
+		Columns: append([]string{"mode"}, tailColumns...),
+		Rows:    rows,
+		Notes: []string{
+			"exact log-scale histogram quantiles (bucket upper edges, <=3.2% wide) over every measured packet — not a reservoir sample",
+		},
 	}
 }
 
@@ -108,14 +151,14 @@ func runElastic(o Options) []*Table {
 		{name: "static-8", m: 8, policy: sched.NameAdaptive},
 		{name: "elastic-2..8", m: 2, policy: sched.NameAdaptive, ecfg: elasticTuning(2, 8)},
 	}
-	crowdRows := parMap(o, len(crowdModes), func(i int) []string {
+	crowdResults := parMap(o, len(crowdModes), func(i int) elasticResult {
 		return elasticRow(crowdModes[i], crowdProcs, d, warmup, o.Seed+uint64(1500+i))
 	})
 	flash := &Table{
 		ID:      "fig-elastic-flash",
 		Title:   "flash crowd (4 -> 28 -> 4 Mpps over 2 queues), noisy host, V̄=15us",
 		Columns: elasticColumns,
-		Rows:    crowdRows,
+		Rows:    elasticRows(crowdResults),
 		Notes: []string{
 			"static-2 overflows the 4096-descriptor rings on wake-delay tails at the peak; static-8 survives it but provisions 8 threads for the whole window",
 			"elastic grows on the occupancy/loss PI only while the crowd is in, so it matches static-8's loss at a fraction of the thread-seconds",
@@ -134,14 +177,14 @@ func runElastic(o Options) []*Table {
 		{name: "static-8", m: 8, policy: sched.NameRMetronome},
 		{name: "elastic-2..8", m: 2, policy: sched.NameRMetronome, ecfg: elasticTuning(2, 8)},
 	}
-	sineRows := parMap(o, len(sineModes), func(i int) []string {
+	sineResults := parMap(o, len(sineModes), func(i int) elasticResult {
 		return elasticRow(sineModes[i], sineProcs, d, warmup, o.Seed+uint64(1520+i))
 	})
 	diurnal := &Table{
 		ID:      "fig-elastic-diurnal",
 		Title:   "diurnal sine (1..15 Mpps per queue), rmetronome groups, V̄=15us",
 		Columns: elasticColumns,
-		Rows:    sineRows,
+		Rows:    elasticRows(sineResults),
 		Notes: []string{
 			"the controller's mean_M rides the sine: r = M/N group sizes recompute online through sched.Resizable",
 		},
@@ -164,19 +207,27 @@ func runElastic(o Options) []*Table {
 		{name: "worksteal-static-6", m: 6, policy: sched.NameWorkSteal},
 		{name: "worksteal-elastic-3..6", m: 3, policy: sched.NameWorkSteal, ecfg: elasticTuning(3, 6)},
 	}
-	shiftRows := parMap(o, len(shiftModes), func(i int) []string {
+	shiftResults := parMap(o, len(shiftModes), func(i int) elasticResult {
 		return elasticRow(shiftModes[i], shiftProcs, d, warmup, o.Seed+uint64(1540+i))
 	})
 	shift := &Table{
 		ID:      "fig-elastic-shift",
 		Title:   "unbalanced shift (60% hot flow migrates queue 0 -> 2 mid-run), 3 queues",
 		Columns: elasticColumns,
-		Rows:    shiftRows,
+		Rows:    elasticRows(shiftResults),
 		Notes: []string{
 			"worksteal re-targets lost-race threads at the occupancy-hottest queue straight off the telemetry bus, so backup capacity follows the migration within a vacation",
 			"the hot flow never leaves, so the controller converges to the static provisioning instead of undercutting it — elastic only wins thread-seconds while demand actually varies",
 		},
 	}
 
-	return []*Table{flash, diurnal, shift}
+	tables := []*Table{flash, diurnal, shift}
+	if !o.NoHist {
+		tables = append(tables,
+			tailsTable("fig-elastic-tails-flash", "flash crowd — exact latency tails", elasticTails(crowdResults)),
+			tailsTable("fig-elastic-tails-diurnal", "diurnal sine — exact latency tails", elasticTails(sineResults)),
+			tailsTable("fig-elastic-tails-shift", "unbalanced shift — exact latency tails", elasticTails(shiftResults)),
+		)
+	}
+	return tables
 }

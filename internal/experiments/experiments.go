@@ -22,6 +22,7 @@ import (
 	"metronome/internal/nic"
 	"metronome/internal/power"
 	"metronome/internal/sim"
+	"metronome/internal/stats"
 	"metronome/internal/telemetry"
 	"metronome/internal/traffic"
 	"metronome/internal/xrand"
@@ -53,6 +54,15 @@ type Options struct {
 	// their own — the metrobench -cap flag, scoped like Elastic (the nic
 	// default 576-slot ring makes the elastic occupancy target coarse).
 	RingCap int64
+	// Objective overrides the elastic controller's minimisation target for
+	// the Options-level override ("thread-seconds" or "joules") — the
+	// metrobench -objective flag, scoped like Elastic: experiments that pin
+	// their own controllers (fig-elastic, fig-power, ...) are unaffected.
+	Objective string
+	// NoHist drops the exact-histogram latency-tail panels from the
+	// experiments that render them (fig-elastic, fig-faults, fig-power) —
+	// the metrobench -hist=false flag. The zero value keeps the panels on.
+	NoHist bool
 	// Parallel bounds how many independent simulations a sweep experiment
 	// runs concurrently; 0 means GOMAXPROCS. Each row/series point is a
 	// self-contained deterministic simulation (own engine, RNG streams and
@@ -349,6 +359,13 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 		// CPU accounting restarts too: replace through a fresh window.
 		r.Acct = cpu.NewAccounting(r.ThreadCount())
 		r.ResetProvisioned(eng.Now())
+		if s.cfg.Bus != nil {
+			// Latency histograms window like every other warm-up-reset
+			// gauge: tails rendered from the bus cover measurement only.
+			for q := range s.procs {
+				s.cfg.Bus.ResetLatency(q)
+			}
+		}
 		if ctrl != nil {
 			ctrl.ResetStats(eng.Now())
 		}
@@ -383,7 +400,35 @@ func overrideElastic(o Options, cfg core.Config, nQueues int) *elastic.Config {
 		ec.Placement = true
 		ec.SlopeGain = 8
 	}
+	if o.Objective == "joules" {
+		ec.Objective = elastic.ObjectiveJoules
+	}
 	return &ec
+}
+
+// tailColumns are the exact-histogram latency-tail cells appended by the
+// experiments that render tail panels; values are microseconds read from
+// the bus histograms (bucket upper edges, ≤3.2% wide — see stats.LogHistogram).
+var tailColumns = []string{"p50_us", "p99_us", "p999_us", "p9999_us", "lmax_us"}
+
+// tailCells folds every queue's bus histogram into one deployment-wide
+// distribution and renders the tail quantiles. The histograms were reset
+// at warm-up, so the cells cover the measured window exactly — every
+// per-packet retrieval latency, no reservoir thinning.
+func tailCells(r *core.Runtime, nQueues int) []string {
+	bus := r.Cfg.Bus
+	if bus == nil {
+		return []string{"-", "-", "-", "-", "-"}
+	}
+	var h stats.LogHistogram
+	for q := 0; q < nQueues; q++ {
+		bus.SampleLatency(q, &h)
+	}
+	if h.N() == 0 {
+		return []string{"-", "-", "-", "-", "-"}
+	}
+	at := func(p float64) string { return us(float64(h.Quantile(p)) * 1e-9) }
+	return []string{at(0.5), at(0.99), at(0.999), at(0.9999), us(float64(h.Max()) * 1e-9)}
 }
 
 // singleQueueCBR is the common single-queue constant-rate deployment; the

@@ -58,6 +58,7 @@ type faultResult struct {
 	drops  int64
 	exiles int
 	row    []string
+	tails  []string
 }
 
 // faultColumns: loss_permille is the deployment-wide loss rate; drops counts
@@ -100,7 +101,7 @@ func faultRow(mode faultMode, procs []traffic.Process, evs []faults.Event,
 			prevDrops = q.Drops
 		})
 	}
-	_, met, rep := runMetronomeElastic(spec)
+	rt, met, rep := runMetronomeElastic(spec)
 	recovery := 0.0
 	if lastBad > faultEnd {
 		recovery = (lastBad - faultEnd) * 1e3
@@ -109,6 +110,7 @@ func faultRow(mode faultMode, procs []traffic.Process, evs []faults.Event,
 		name:   mode.name,
 		drops:  watched.Drops,
 		exiles: rep.Exiles,
+		tails:  append([]string{mode.name}, tailCells(rt, len(procs))...),
 		row: []string{
 			mode.name,
 			permille(met.LossRate),
@@ -130,6 +132,19 @@ func rowsOf(results []faultResult) [][]string {
 		rows[i] = r.row
 	}
 	return rows
+}
+
+// faultTables pairs a panel with its exact-histogram tail table unless
+// the Options-level -hist override dropped the tail panels.
+func faultTables(o Options, main *Table, results []faultResult, tailID, tailTitle string) []*Table {
+	if o.NoHist {
+		return []*Table{main}
+	}
+	rows := make([][]string, len(results))
+	for i, r := range results {
+		rows[i] = r.tails
+	}
+	return []*Table{main, tailsTable(tailID, tailTitle, rows)}
 }
 
 // stragglerResults runs the straggler-storm arms and returns the raw
@@ -167,9 +182,9 @@ func stragglerResults(o Options) ([]faultResult, float64) {
 	return results, d
 }
 
-func faultsStragglerPanel(o Options) *Table {
+func faultsStragglerPanel(o Options) []*Table {
 	results, _ := stragglerResults(o)
-	return &Table{
+	return faultTables(o, &Table{
 		ID:      "fig-faults-straggler",
 		Title:   "straggler storm (thread 0 preempted 40 ms every 80 ms), 150 Kpps + 6 Mpps over 2 queues",
 		Columns: faultColumns,
@@ -178,10 +193,10 @@ func faultsStragglerPanel(o Options) *Table {
 			"a starved queue publishes nothing (gauges land on its own cycle path), so the oblivious controller is blind to the storm and loses like static-2",
 			"the health layer sees the frozen heartbeat within its liveness bound and exiles the straggler — a corrective plan reinforces its home queue before the ring overflows, matching the oracle's loss at a fraction of its thread-seconds",
 		},
-	}
+	}, results, "fig-faults-tails-straggler", "straggler storm — exact latency tails")
 }
 
-func faultsBlackoutPanel(o Options) *Table {
+func faultsBlackoutPanel(o Options) []*Table {
 	d := dur(o, 0.8)
 	warmup := 0.25 * d
 	procs := []traffic.Process{
@@ -202,7 +217,7 @@ func faultsBlackoutPanel(o Options) *Table {
 	results := parMap(o, len(modes), func(i int) faultResult {
 		return faultRow(modes[i], procs, evs, d, warmup, faultEnd, 0, true, o.Seed+uint64(1620+i))
 	})
-	return &Table{
+	return faultTables(o, &Table{
 		ID:      "fig-faults-blackout",
 		Title:   "queue blackout (queue 0 dark for 32 ms), 600 Kpps + 6 Mpps over 2 queues",
 		Columns: faultColumns,
@@ -211,10 +226,10 @@ func faultsBlackoutPanel(o Options) *Table {
 			"the dark window overflows the ring for every arm — static-4's extra capacity buys nothing, because no amount of service drains a NIC that reports empty",
 			"the oblivious controller chases the dark loss to its budget (wasted thread-seconds); the health layer classifies drops-rising-while-empty as dark loss and holds the team, then both drain the surfaced backlog at recovery",
 		},
-	}
+	}, results, "fig-faults-tails-blackout", "queue blackout — exact latency tails")
 }
 
-func faultsBrownoutPanel(o Options) *Table {
+func faultsBrownoutPanel(o Options) []*Table {
 	d := dur(o, 0.8)
 	warmup := 0.25 * d
 	crowd := func() traffic.Process {
@@ -239,7 +254,7 @@ func faultsBrownoutPanel(o Options) *Table {
 	results := parMap(o, len(modes), func(i int) faultResult {
 		return faultRow(modes[i], procs, evs, d, warmup, faultEnd, 0, false, o.Seed+uint64(1640+i))
 	})
-	return &Table{
+	return faultTables(o, &Table{
 		ID:      "fig-faults-brownout",
 		Title:   "telemetry brownout (all gauges frozen) hiding a 4 -> 28 Mpps flash crowd",
 		Columns: faultColumns,
@@ -248,10 +263,10 @@ func faultsBrownoutPanel(o Options) *Table {
 			"frozen gauges keep reading the pre-crowd idle, so the oblivious controller never grows and loses like static-2",
 			"the health layer watches publish sequences, not values: when every queue goes stale it stops trusting the bus and grows to SafeTeam (grow-only), riding out the crowd like static-8 — then shrinks back once fresh gauges return",
 		},
-	}
+	}, results, "fig-faults-tails-brownout", "telemetry brownout — exact latency tails")
 }
 
-func faultsOutagePanel(o Options) *Table {
+func faultsOutagePanel(o Options) []*Table {
 	d := dur(o, 0.8)
 	warmup := 0.25 * d
 	crowd := func() traffic.Process {
@@ -273,7 +288,7 @@ func faultsOutagePanel(o Options) *Table {
 	results := parMap(o, len(modes), func(i int) faultResult {
 		return faultRow(modes[i], procs, evs, d, warmup, faultEnd, 0, false, o.Seed+uint64(1660+i))
 	})
-	return &Table{
+	return faultTables(o, &Table{
 		ID:      "fig-faults-outage",
 		Title:   "controller outage (ticks suppressed 160 ms) across a flash-crowd onset",
 		Columns: faultColumns,
@@ -282,14 +297,14 @@ func faultsOutagePanel(o Options) *Table {
 			"both elastic arms are blind while ticks are suppressed and pay the crowd's onset; the static team is immune but pays 8 threads all run",
 			"at resume the self-healing controller re-enters through the monotonic-tick guard and the actuation rate limit: recovery stays bounded with no burst of stale-state resizes (the value-change detectors count ticks, so an outage never false-trips staleness)",
 		},
-	}
+	}, results, "fig-faults-tails-outage", "controller outage — exact latency tails")
 }
 
 func runFaults(o Options) []*Table {
-	return []*Table{
-		faultsStragglerPanel(o),
-		faultsBlackoutPanel(o),
-		faultsBrownoutPanel(o),
-		faultsOutagePanel(o),
-	}
+	var tables []*Table
+	tables = append(tables, faultsStragglerPanel(o)...)
+	tables = append(tables, faultsBlackoutPanel(o)...)
+	tables = append(tables, faultsBrownoutPanel(o)...)
+	tables = append(tables, faultsOutagePanel(o)...)
+	return tables
 }

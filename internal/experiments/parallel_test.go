@@ -47,16 +47,18 @@ func renderAll(tabs []*Table) string {
 // index. Covers flattened multi-series sweeps (fig5, fig13), paired-run
 // rows (fig14), and ablations.
 func TestParallelRunsAreByteIdentical(t *testing.T) {
-	ids := []string{"tab1", "fig5", "fig8", "fig13", "fig13-15-rmetronome", "fig14", "fig-elastic", "fig-placement", "fig-apps", "fig-faults", "abl-poisson", "abl-robust", "abl-uniformvac"}
+	ids := []string{"tab1", "fig5", "fig8", "fig13", "fig13-15-rmetronome", "fig14", "fig-elastic", "fig-placement", "fig-apps", "fig-faults", "fig-power", "abl-poisson", "abl-robust", "abl-uniformvac"}
 	if testing.Short() {
 		// CI runs this under -race where every simulation is ~15x slower;
 		// keep one flattened multi-series sweep, one paired-run sweep, the
 		// elastic + placement experiments (mid-run resizes and rebalances
 		// must stay engine-driven and therefore byte-identical at any
 		// parallelism), and fig-apps (live-runner packet accounting must
-		// be exact despite goroutine scheduling), and fig-faults (injected
-		// faults fire as engine events and must order identically).
-		ids = []string{"fig5", "fig14", "fig-elastic", "fig-placement", "fig-apps", "fig-faults"}
+		// be exact despite goroutine scheduling), fig-faults (injected
+		// faults fire as engine events and must order identically), and
+		// fig-power (bus histograms and the energy integral ride the same
+		// engine clock).
+		ids = []string{"fig5", "fig14", "fig-elastic", "fig-placement", "fig-apps", "fig-faults", "fig-power"}
 	}
 	for _, id := range ids {
 		id := id

@@ -88,7 +88,22 @@ type Queue struct {
 	NVObs     stats.Welford
 	Lat       stats.Sample
 
+	// LatSink, when non-nil, receives every tagged packet's retrieval
+	// latency (seconds) alongside Lat — the hook the core engine uses to
+	// publish the sim substrate's exact fluid latencies into the
+	// telemetry bus's histograms without nic knowing about the bus.
+	LatSink func(latSeconds float64)
+
 	rxAcc, servedAcc float64 // float accumulators behind the int counters
+}
+
+// lat records one tagged packet's retrieval latency into the Sample and,
+// when installed, the latency sink.
+func (q *Queue) lat(v float64) {
+	q.Lat.Add(v)
+	if q.LatSink != nil {
+		q.LatSink(v)
+	}
 }
 
 // NewQueue builds a queue over an arrival process. rng may be shared only
@@ -215,7 +230,7 @@ func (q *Queue) BeginService(t, mu float64) (nv float64) {
 	// The previous cycle's final partial Tx batch flushes as transmission
 	// resumes now.
 	for _, a := range q.pending {
-		q.Lat.Add(t + 1/mu - a + q.Opt.BaseLatency)
+		q.lat(t + 1/mu - a + q.Opt.BaseLatency)
 	}
 	q.pending = q.pending[:0]
 
@@ -338,13 +353,13 @@ func (q *Queue) EndService(t float64) {
 	for _, e := range q.tagged {
 		depart := q.serviceStart + e.pos/q.mu
 		if q.Opt.TxBatch <= 1 {
-			q.Lat.Add(depart - e.arrival + q.Opt.BaseLatency)
+			q.lat(depart - e.arrival + q.Opt.BaseLatency)
 			continue
 		}
 		flushOrd := math.Ceil(e.pos/batch) * batch
 		if flushOrd <= total {
 			fl := q.serviceStart + flushOrd/q.mu
-			q.Lat.Add(fl - e.arrival + q.Opt.BaseLatency)
+			q.lat(fl - e.arrival + q.Opt.BaseLatency)
 		} else {
 			// Final partial batch: flushes when transmission resumes in
 			// the next busy period.

@@ -158,3 +158,95 @@ func TestSteadyStateVector(t *testing.T) {
 		t.Errorf("idle core freq = %v", st[2].Freq)
 	}
 }
+
+func TestSleepSplitAndIdlePower(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.SleepSplit(0); got != 0 {
+		t.Errorf("SleepSplit(0) = %v", got)
+	}
+	if got := c.SleepSplit(c.DeepDwell / 2); got != 0 {
+		t.Errorf("short dwell split = %v, want 0 (stays shallow)", got)
+	}
+	long := c.SleepSplit(100 * c.DeepDwell)
+	if long < 0.98 || long >= 1 {
+		t.Errorf("long dwell split = %v, want ~0.99", long)
+	}
+	if got := c.IdlePower(c.DeepDwell / 2); got != c.IdleCore {
+		t.Errorf("shallow idle power = %v, want IdleCore %v", got, c.IdleCore)
+	}
+	deep := c.IdlePower(1.0)
+	if deep >= c.IdleCore || deep < c.DeepIdle {
+		t.Errorf("deep idle power = %v, want in [%v, %v)", deep, c.DeepIdle, c.IdleCore)
+	}
+}
+
+func TestTeamEnergyComposition(t *testing.T) {
+	c := DefaultConfig()
+	// 2 members, 10 s wall: 4 s busy, 16 s idle (short dwell), plus one
+	// parked core for the whole window.
+	r := Residency{
+		BusySeconds:   4,
+		IdleSeconds:   16,
+		ParkedSeconds: 10,
+		MeanDwell:     20e-6,
+		Freq:          c.FMax,
+	}
+	want := 4*c.CorePower(CoreState{Freq: c.FMax, Util: 1}) + 16*c.IdleCore + 10*c.DeepIdle
+	if got := c.TeamEnergy(r); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TeamEnergy = %v, want %v", got, want)
+	}
+	if got := c.TeamPower(r, 10); math.Abs(got-want/10) > 1e-9 {
+		t.Errorf("TeamPower = %v, want %v", got, want/10)
+	}
+	if got := c.TeamPower(r, 0); got != 0 {
+		t.Errorf("TeamPower(wall=0) = %v", got)
+	}
+}
+
+// A small elastic team with its surplus parked in deep idle must model
+// cheaper than a large static team idling shallowly at the same duty —
+// the arithmetic behind fig-power's claim.
+func TestSmallTeamPlusParkedBeatsLargeShallowTeam(t *testing.T) {
+	c := DefaultConfig()
+	shortDwell := 60e-6 // static idlers: duty-cycle sleeps stay shallow
+	static := c.TeamWatts(6, 0.10, shortDwell, 0)
+	elastic := c.TeamWatts(2, 0.30, shortDwell, 4)
+	if elastic >= static {
+		t.Fatalf("elastic 2+4 parked = %vW, static 6 = %vW: parking saves nothing", elastic, static)
+	}
+	if saving := 1 - elastic/static; saving < 0.30 {
+		t.Errorf("modelled saving = %.1f%%, want >= 30%%", saving*100)
+	}
+}
+
+func TestEnergyPressureShape(t *testing.T) {
+	c := DefaultConfig()
+	lo, hi := c.EnergyPressure(0.05), c.EnergyPressure(0.95)
+	if lo <= hi {
+		t.Fatalf("pressure not decreasing in duty: %v at 0.05 vs %v at 0.95", lo, hi)
+	}
+	if lo < 0.4 || lo > 1 {
+		t.Errorf("trough pressure = %v, want ~0.6", lo)
+	}
+	if hi < 0 || hi > 0.2 {
+		t.Errorf("saturation pressure = %v, want ~0.1", hi)
+	}
+}
+
+func TestEnergyIntegral(t *testing.T) {
+	var e Energy
+	e.Observe(0, 10)
+	e.Observe(1, 10)
+	e.Observe(3, 20) // trapezoid: 2 s at mean 15 W
+	if got := e.Joules(); math.Abs(got-40) > 1e-12 {
+		t.Errorf("Joules = %v, want 40", got)
+	}
+	e.Reset()
+	if e.Joules() != 0 {
+		t.Error("Reset kept joules")
+	}
+	e.Observe(4, 20) // clock anchor survived the reset: 1 s at 20 W
+	if got := e.Joules(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("post-reset Joules = %v, want 20", got)
+	}
+}

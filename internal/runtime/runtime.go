@@ -669,6 +669,18 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			r.Stats.Bursts.Add(1)
 			if r.pubGauges(q) {
 				r.bus.AddRx(q, uint64(n))
+				// Per-packet retrieval latency into the bus histogram: one
+				// wall-clock read per burst, one atomic add per stamped
+				// packet. Unstamped mbufs (producers that skip RxStamp) are
+				// excluded rather than recorded as garbage epochs.
+				now := time.Now()
+				for _, m := range buf[:n] {
+					if !m.RxStamp.IsZero() {
+						if lat := now.Sub(m.RxStamp); lat > 0 {
+							r.bus.RecordLatency(q, uint64(lat))
+						}
+					}
+				}
 			}
 		}
 		ended := r.nanotime()

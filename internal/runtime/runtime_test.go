@@ -11,6 +11,7 @@ import (
 	"metronome/internal/mbuf"
 	"metronome/internal/ring"
 	"metronome/internal/sched"
+	"metronome/internal/stats"
 	"metronome/internal/telemetry"
 	"metronome/internal/xrand"
 )
@@ -832,5 +833,69 @@ func TestBusPublishesOccAvgLive(t *testing.T) {
 	wg.Wait()
 	if !seen {
 		t.Fatal("live runner never published a time-averaged occupancy")
+	}
+}
+
+// TestLiveBusLatencyHistogram is the live half of the fidelity-plane
+// equivalence contract: the drain loop measures per-packet latency from
+// RxStamp and publishes it into the same bus bucket layout the sim uses.
+// Stamps are scripted one second in the past — three orders of magnitude
+// above drain jitter, far inside one ~31ms-wide bucket — so the recorded
+// quantiles are pinned; unstamped packets must be excluded, not recorded
+// as epoch-sized garbage.
+func TestLiveBusLatencyHistogram(t *testing.T) {
+	bench := newBench(t, 1)
+	bus := telemetry.NewBus(1, 4)
+	handler := func(batch []*mbuf.Mbuf) {
+		for _, m := range batch {
+			m.Free()
+		}
+	}
+	r := New(bench.queues, handler, Config{M: 2, VBar: 200 * time.Microsecond, Seed: 3, Bus: bus})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); r.Run(ctx) }()
+
+	const stamped, unstamped = 400, 100
+	sent := 0
+	for sent < stamped+unstamped {
+		m, err := bench.pool.Get()
+		if err != nil {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		m.SetFrame([]byte{byte(sent)})
+		if sent < stamped {
+			m.RxStamp = time.Now().Add(-time.Second)
+		}
+		if !bench.rings[0].Enqueue(m) {
+			m.Free()
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		sent++
+	}
+	var h stats.LogHistogram
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h.Reset()
+		bus.SampleLatency(0, &h)
+		if h.N() >= stamped && bus.Rx(0) >= stamped+unstamped {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if h.N() != stamped {
+		t.Fatalf("histogram holds %d latencies, want %d (unstamped must not count)", h.N(), stamped)
+	}
+	p50, p999 := h.Quantile(0.5), h.Quantile(0.999)
+	if p50 < 1e9 || p50 > 1.5e9 {
+		t.Errorf("p50 = %d ns, want ~1s", p50)
+	}
+	if p999 < p50 || p999 > 3e9 {
+		t.Errorf("p99.9 = %d ns, want in [p50, 3s]", p999)
 	}
 }

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLogBucketRoundTrip checks the bucket-boundary round trip across the
+// full latency range: every bucket's lower and upper edge must map back to
+// that bucket, edges must tile the domain with no gaps or overlaps, and
+// the clamp must land in the top bucket.
+func TestLogBucketRoundTrip(t *testing.T) {
+	var next uint64
+	for i := 0; i < LogHistBuckets; i++ {
+		lo, w := LogBucketLower(i), LogBucketWidth(i)
+		if lo != next {
+			t.Fatalf("bucket %d: lower=%d, want %d (gap or overlap)", i, lo, next)
+		}
+		next = lo + w
+		if got := LogBucketIndex(lo); got != i {
+			t.Fatalf("bucket %d: index(lower=%d)=%d", i, lo, got)
+		}
+		if got := LogBucketIndex(lo + w - 1); got != i {
+			t.Fatalf("bucket %d: index(upper=%d)=%d", i, lo+w-1, got)
+		}
+		if i > 0 {
+			if got := LogBucketIndex(lo - 1); got != i-1 {
+				t.Fatalf("bucket %d: index(lower-1=%d)=%d, want %d", i, lo-1, got, i-1)
+			}
+		}
+	}
+	if next != LogHistMax+1 {
+		t.Fatalf("layout covers [0,%d), want [0,%d]", next, LogHistMax)
+	}
+	if got := LogBucketIndex(LogHistMax + 12345); got != LogHistBuckets-1 {
+		t.Fatalf("clamp: index(max+12345)=%d, want %d", got, LogHistBuckets-1)
+	}
+}
+
+// TestLogBucketResolution checks the promised relative resolution: every
+// bucket above the unit region is narrower than lower/LogHistSub.
+func TestLogBucketResolution(t *testing.T) {
+	for i := 2 * LogHistSub; i < LogHistBuckets; i++ {
+		lo, w := LogBucketLower(i), LogBucketWidth(i)
+		if float64(w) > float64(lo)/float64(LogHistSub) {
+			t.Fatalf("bucket %d: width %d exceeds %d/%d", i, w, lo, LogHistSub)
+		}
+	}
+}
+
+// TestLogHistQuantileMonotone records a deterministic heavy-tailed stream
+// and checks Quantile is monotone in q, exact below the unit-bucket
+// boundary, and within bucket resolution of the true order statistics.
+func TestLogHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h LogHistogram
+	for i := 0; i < 100000; i++ {
+		// Log-uniform over ~[1, 2^30) ns plus an exact low-value mode.
+		if i%10 == 0 {
+			h.Record(uint64(rng.Intn(2 * LogHistSub)))
+		} else {
+			h.Record(uint64(1) << uint(rng.Intn(30)) * uint64(1+rng.Intn(7)))
+		}
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%f gives %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1)=%d != Max()=%d", h.Quantile(1), h.Max())
+	}
+}
+
+// TestLogHistQuantileExactLow: with all values in the unit-width region,
+// quantiles are exact order statistics.
+func TestLogHistQuantileExactLow(t *testing.T) {
+	var h LogHistogram
+	for v := uint64(0); v < 2*LogHistSub; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0)=%d, want 0", got)
+	}
+	if got := h.Quantile(0.5); got != LogHistSub-1 {
+		t.Fatalf("Quantile(0.5)=%d, want %d", got, LogHistSub-1)
+	}
+	if got := h.Quantile(1); got != 2*LogHistSub-1 {
+		t.Fatalf("Quantile(1)=%d, want %d", got, 2*LogHistSub-1)
+	}
+}
+
+// TestLogHistMergeEqualsConcat checks Merge == concatenated Record: two
+// independently recorded streams merged must equal one histogram that
+// recorded both.
+func TestLogHistMergeEqualsConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, all LogHistogram
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(int64(LogHistMax) + 1))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N=%d, want %d", a.N(), all.N())
+	}
+	for i := 0; i < LogHistBuckets; i++ {
+		if a.CountAt(i) != all.CountAt(i) {
+			t.Fatalf("bucket %d: merged=%d concat=%d", i, a.CountAt(i), all.CountAt(i))
+		}
+	}
+	a.Reset()
+	if a.N() != 0 || a.Quantile(0.99) != 0 || a.Max() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+// TestSecondsToNs checks rounding and the negative clamp.
+func TestSecondsToNs(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want uint64
+	}{
+		{0, 0}, {-1, 0}, {1e-9, 1}, {6.8e-6, 6800}, {1.5, 1500000000},
+	}
+	for _, c := range cases {
+		if got := SecondsToNs(c.s); got != c.want {
+			t.Fatalf("SecondsToNs(%g)=%d, want %d", c.s, got, c.want)
+		}
+	}
+}

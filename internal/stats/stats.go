@@ -81,10 +81,13 @@ func (w *Welford) Merge(o *Welford) {
 	w.n = n
 }
 
-// Sample collects raw values for exact quantiles. Experiments bound the
-// number of tagged packets, so unbounded growth is rarely a concern; an
-// optional cap (SetCap) trims via uniform thinning if a producer
-// overshoots.
+// Sample collects raw values for quantile estimation. Quantiles are exact
+// only while the sample is unbounded: once an optional cap (SetCap) has
+// triggered, the retained set is a uniform thinning of the stream, and
+// extreme tail quantiles (p99.9 and beyond) are reported by subsample luck
+// — a capped Sample holding 1/k of the stream has likely discarded the
+// true maximum. Readers that need exact tails should use LogHistogram,
+// which keeps every observation at a bounded (~3.1%) bucket resolution.
 type Sample struct {
 	xs     []float64
 	sorted bool

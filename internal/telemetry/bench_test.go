@@ -1,6 +1,10 @@
 package telemetry
 
-import "testing"
+import (
+	"testing"
+
+	"metronome/internal/stats"
+)
 
 // BenchmarkTelemetrySample is the CI alloc gate for the telemetry plane
 // (BENCH_telemetry.json): one publish of every per-queue signal plus a full
@@ -25,5 +29,36 @@ func BenchmarkTelemetrySample(b *testing.B) {
 		bus.SetThreadBusy(i&15, float64(i))
 		bus.SetHeartbeat(i&15, float64(i))
 		bus.Sample(&s)
+	}
+}
+
+// BenchmarkTelemetryHistRecord is the CI alloc gate for the per-packet
+// latency publish path: one RecordLatency must be a bucket computation
+// plus one atomic add, zero allocations (BENCH_telemetry.json).
+func BenchmarkTelemetryHistRecord(b *testing.B) {
+	bus := NewBus(4, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.RecordLatency(i&3, uint64(i)*97)
+	}
+}
+
+// BenchmarkTelemetryHistSample is the CI alloc gate for the observer side
+// of the latency histograms: folding every queue's bucket block into one
+// caller-owned histogram must not allocate (BENCH_telemetry.json).
+func BenchmarkTelemetryHistSample(b *testing.B) {
+	bus := NewBus(4, 16)
+	for i := 0; i < 1<<16; i++ {
+		bus.RecordLatency(i&3, uint64(i)*131)
+	}
+	var h stats.LogHistogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for q := 0; q < 4; q++ {
+			bus.SampleLatency(q, &h)
+		}
 	}
 }

@@ -1,8 +1,9 @@
 // Package telemetry is the lock-free telemetry plane underneath the
 // elastic control loop: a fixed set of atomic slots — per-queue occupancy,
-// ring capacity, load estimate, drop/receive/trylock counters and
-// per-thread on-CPU time — that both execution substrates publish into and
-// the elastic controller (or any observer) samples out of.
+// ring capacity, load estimate, drop/receive/trylock counters, per-queue
+// log-scale latency histograms and per-thread on-CPU time — that both
+// execution substrates publish into and the elastic controller (or any
+// observer) samples out of.
 //
 // The bus is sized once at construction and never allocates afterwards:
 // publishing is one atomic store or add per datum, sampling fills a
@@ -21,6 +22,8 @@ package telemetry
 import (
 	"math"
 	"sync/atomic"
+
+	"metronome/internal/stats"
 )
 
 // slot is one cache-line-padded atomic cell. Gauges store float64 bits,
@@ -41,19 +44,32 @@ func (s *slot) load() uint64     { return s.v.Load() }
 type Bus struct {
 	nq, nt int
 
-	occ      []slot // per-queue occupancy in packets (gauge)
-	occAvg   []slot // per-queue time-averaged occupancy in packets (gauge)
-	capacity []slot // per-queue ring capacity in packets (gauge)
-	slope    []slot // per-queue occupancy slope in capacity fractions/s (gauge)
-	rho      []slot // per-queue load estimate (gauge)
-	rate     []slot // per-queue arrival rate in packets/s (gauge)
-	drops    []slot // per-queue dropped packets (counter)
-	rx       []slot // per-queue received packets (counter)
-	tries    []slot // per-queue trylock attempts (counter)
-	busyTry  []slot // per-queue failed trylock attempts (counter)
-	pub      []slot // per-queue publish sequence (counter)
-	busy     []slot // per-thread cumulative on-CPU seconds (gauge)
-	hb       []slot // per-thread heartbeat: last cycle-completion time (gauge)
+	occ      []slot      // per-queue occupancy in packets (gauge)
+	occAvg   []slot      // per-queue time-averaged occupancy in packets (gauge)
+	capacity []slot      // per-queue ring capacity in packets (gauge)
+	slope    []slot      // per-queue occupancy slope in capacity fractions/s (gauge)
+	rho      []slot      // per-queue load estimate (gauge)
+	rate     []slot      // per-queue arrival rate in packets/s (gauge)
+	drops    []slot      // per-queue dropped packets (counter)
+	rx       []slot      // per-queue received packets (counter)
+	tries    []slot      // per-queue trylock attempts (counter)
+	busyTry  []slot      // per-queue failed trylock attempts (counter)
+	pub      []slot      // per-queue publish sequence (counter)
+	busy     []slot      // per-thread cumulative on-CPU seconds (gauge)
+	hb       []slot      // per-thread heartbeat: last cycle-completion time (gauge)
+	hist     []histBlock // per-queue retrieval-latency histogram (counters)
+}
+
+// histBlock is one queue's latency histogram on the bus: a contiguous
+// block of atomic bucket counters in the stats.LogHistogram layout. The
+// block is a multiple of the cache-line size and tail-padded, so two
+// queues' blocks never share a line; counters inside one block are
+// written by that queue's servers only (sim: one goroutine; live: the
+// members of the queue's service group), which is the same sharing
+// domain as the queue's ring itself.
+type histBlock struct {
+	counts [stats.LogHistBuckets]atomic.Uint64
+	_      [56]byte
 }
 
 // NewBus builds a bus over nQueues queues and maxThreads thread slots.
@@ -82,6 +98,7 @@ func NewBus(nQueues, maxThreads int) *Bus {
 		pub:      make([]slot, nQueues),
 		busy:     make([]slot, maxThreads),
 		hb:       make([]slot, maxThreads),
+		hist:     make([]histBlock, nQueues),
 	}
 }
 
@@ -229,13 +246,64 @@ func (b *Bus) ThreadBusy(t int) float64 {
 	return b.busy[t].loadF()
 }
 
+// RecordLatency counts one per-packet retrieval latency (nanoseconds)
+// into queue q's histogram: one bucket computation (two shifts) plus one
+// atomic add, zero allocations. Both substrates publish here — the sim
+// from its exact fluid timestamps, the live runner from per-burst
+// rx-stamp deltas — so the buckets are comparable across substrates.
+func (b *Bus) RecordLatency(q int, ns uint64) {
+	b.hist[q].counts[stats.LogBucketIndex(ns)].Add(1)
+}
+
+// SampleLatency folds queue q's histogram counters into the caller-owned
+// dst at zero allocations (dst is not reset first, so sampling every
+// queue into one histogram yields the deployment-wide latency
+// distribution). Like Sample, the read is per-counter atomic but not a
+// consistent cut; counts are cumulative since construction, so callers
+// that window must difference two folds themselves.
+func (b *Bus) SampleLatency(q int, dst *stats.LogHistogram) {
+	blk := &b.hist[q]
+	for i := range blk.counts {
+		if c := blk.counts[i].Load(); c != 0 {
+			dst.AddBucket(i, c)
+		}
+	}
+}
+
+// ResetLatency zeroes queue q's histogram counters — the warm-up reset
+// hook for single-writer windows (the sim substrate between warm-up and
+// measurement). It is not atomic with respect to concurrent recorders: a
+// racing RecordLatency may land on either side of the wipe, so windowed
+// multi-writer readers should difference two SampleLatency folds instead.
+func (b *Bus) ResetLatency(q int) {
+	blk := &b.hist[q]
+	for i := range blk.counts {
+		blk.counts[i].Store(0)
+	}
+}
+
 // Snapshot is a caller-owned sample of the whole bus. Reuse one value
 // across Sample calls: after the first call sized to the bus, sampling
 // allocates nothing.
 type Snapshot struct {
+	// Occ is each queue's last-published wake-time ring occupancy
+	// (packets found on descriptor-ring entry); OccAvg its EWMA; Cap the
+	// ring capacity the occupancies are judged against; Rho the
+	// attendants' utilization estimate; OccSlope the per-second trend of
+	// OccAvg (the feedforward input); Rate the arrival-rate estimate in
+	// packets per second.
 	Occ, OccAvg, Cap, Rho, OccSlope, Rate []float64
-	Drops, Rx, Tries, BusyTr, PubSeq      []uint64
-	ThreadBusy, Heartbeat                 []float64
+	// Drops and Rx are each queue's cumulative dropped/retrieved packet
+	// counters; Tries and BusyTr count lock attempts and the subset that
+	// lost the race; PubSeq is the queue slot's publication sequence
+	// number — it advances on every publish, so a reader can detect
+	// staleness (an unchanged PubSeq between samples means no attendant
+	// published, the health plane's liveness signal).
+	Drops, Rx, Tries, BusyTr, PubSeq []uint64
+	// ThreadBusy is each thread's cumulative busy-seconds gauge and
+	// Heartbeat its last-publish timestamp in engine seconds — the
+	// per-member inputs to the fault plane's straggler detector.
+	ThreadBusy, Heartbeat []float64
 }
 
 // Sample fills dst with the current slot values, growing its slices only

@@ -3,6 +3,8 @@ package telemetry
 import (
 	"sync"
 	"testing"
+
+	"metronome/internal/stats"
 )
 
 func TestGaugesAndCounters(t *testing.T) {
@@ -168,6 +170,54 @@ func TestConcurrentPublishSample(t *testing.T) {
 		if b.Tries(w) != 2000 {
 			t.Errorf("queue %d tries = %d, want 2000", w, b.Tries(w))
 		}
+	}
+}
+
+// TestLatencyHistogram checks the publish/fold round trip: values
+// recorded on the bus land in the same buckets a LogHistogram would put
+// them in, folds accumulate across queues, and the caller's Reset
+// windows the cumulative counters.
+func TestLatencyHistogram(t *testing.T) {
+	b := NewBus(2, 1)
+	var want stats.LogHistogram
+	for i := uint64(0); i < 1000; i++ {
+		ns := i * i * 131
+		b.RecordLatency(int(i&1), ns)
+		want.Record(ns)
+	}
+	var got stats.LogHistogram
+	b.SampleLatency(0, &got)
+	b.SampleLatency(1, &got)
+	if got.N() != want.N() {
+		t.Fatalf("folded N=%d, want %d", got.N(), want.N())
+	}
+	for i := 0; i < stats.LogHistBuckets; i++ {
+		if got.CountAt(i) != want.CountAt(i) {
+			t.Fatalf("bucket %d: bus=%d direct=%d", i, got.CountAt(i), want.CountAt(i))
+		}
+	}
+	got.Reset()
+	b.SampleLatency(0, &got)
+	if got.N() == 0 || got.N() == want.N() {
+		t.Fatalf("per-queue fold N=%d, want strictly between 0 and %d", got.N(), want.N())
+	}
+}
+
+// TestLatencyHistogramAllocationFree pins the fidelity plane's hot-path
+// contract: publishing a latency and folding a queue's block into a
+// warm caller-owned histogram both allocate nothing.
+func TestLatencyHistogramAllocationFree(t *testing.T) {
+	b := NewBus(2, 1)
+	var h stats.LogHistogram
+	allocs := testing.AllocsPerRun(100, func() {
+		b.RecordLatency(0, 4242)
+		b.RecordLatency(1, 1<<20)
+		h.Reset()
+		b.SampleLatency(0, &h)
+		b.SampleLatency(1, &h)
+	})
+	if allocs != 0 {
+		t.Fatalf("record+sample allocates %v per run, want 0", allocs)
 	}
 }
 

@@ -35,10 +35,12 @@ import (
 	"metronome/internal/model"
 	"metronome/internal/nic"
 	"metronome/internal/packet"
+	"metronome/internal/power"
 	"metronome/internal/ring"
 	"metronome/internal/runtime"
 	"metronome/internal/sched"
 	"metronome/internal/sim"
+	"metronome/internal/stats"
 	"metronome/internal/telemetry"
 	"metronome/internal/traffic"
 	"metronome/internal/xrand"
@@ -216,6 +218,13 @@ type (
 	TelemetryBus = telemetry.Bus
 	// TelemetrySnapshot is a caller-owned sample of a whole bus.
 	TelemetrySnapshot = telemetry.Snapshot
+	// LatencyHistogram is the fidelity plane's fixed-bucket log-scale
+	// histogram: both substrates record every packet's retrieval latency
+	// into one per queue on the bus (TelemetryBus.RecordLatency, one atomic
+	// add, zero allocations) and TelemetryBus.SampleLatency folds a queue's
+	// counts into a caller-owned copy for exact quantiles at <=3.2%
+	// relative resolution. Useful standalone for any latency-shaped data.
+	LatencyHistogram = stats.LogHistogram
 	// ElasticConfig tunes the control plane: control period, core budget,
 	// occupancy target, PI gains, hysteresis and cooldown.
 	ElasticConfig = elastic.Config
@@ -236,6 +245,23 @@ type (
 	// ElasticPlan is one placement actuation: a team total and its
 	// per-queue apportionment.
 	ElasticPlan = elastic.Plan
+	// ElasticObjective selects the cost model the controller's size law
+	// minimises against loss (ElasticConfig.Objective).
+	ElasticObjective = elastic.Objective
+)
+
+// The elastic size-law objectives.
+const (
+	// ElasticObjectiveThreadSeconds (the zero value) is the original law:
+	// every provisioned thread-second costs the same, so the controller
+	// holds wake-time occupancy at the target with the smallest team.
+	ElasticObjectiveThreadSeconds = elastic.ObjectiveThreadSeconds
+	// ElasticObjectiveJoules prices teams with ElasticConfig.Power
+	// instead: the occupancy target inflates by the modelled relative
+	// saving of shedding a member, so the controller idles smaller teams
+	// when the energy model says a release pays, while the loss override
+	// still forces growth when packets drop.
+	ElasticObjectiveJoules = elastic.ObjectiveJoules
 )
 
 // NewTelemetryBus builds a bus over nQueues queues and maxThreads thread
@@ -307,6 +333,30 @@ func NewFaultInjector(maxThreads, nQueues int) *FaultInjector {
 func StragglerStorm(evs []FaultEvent, thread int, from, before, period, stall float64) []FaultEvent {
 	return faults.Storm(evs, thread, from, before, period, stall)
 }
+
+// --- power plane ---------------------------------------------------------------
+
+// The power plane prices a deployment's sleep-state residency with a
+// calibrated core-only CPU model: busy time at the running frequency's
+// active power, short vacations at the shallow-idle floor, released or
+// surplus cores parked in the deep C-state. The joules objective
+// (ElasticObjectiveJoules) steers the controller with the same model.
+type (
+	// PowerConfig is the CPU power calibration (DefaultPowerConfig ships
+	// the Xeon Silver 4110 numbers the experiments use).
+	PowerConfig = power.Config
+	// PowerResidency is one window's sleep-state account: busy, shallow-
+	// idle and parked seconds plus the mean sleep dwell that splits
+	// shallow from deep residency.
+	PowerResidency = power.Residency
+	// EnergyMeter integrates modelled watts over virtual or wall time
+	// (trapezoid rule) into joules.
+	EnergyMeter = power.Energy
+)
+
+// DefaultPowerConfig returns the shipped calibration (Xeon Silver 4110,
+// the paper's testbed CPU).
+func DefaultPowerConfig() PowerConfig { return power.DefaultConfig() }
 
 // --- analytical model ---------------------------------------------------------
 
@@ -460,6 +510,51 @@ func SimulateFaults(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, durat
 		rep.MeanThreads = rep.ThreadSeconds / d
 	}
 	return rt.Snapshot(d), rep
+}
+
+// SimulatePower is SimulateElastic priced by the power plane: the run's
+// sleep-state residency (busy, shallow-idle and parked seconds out of the
+// deployment's core budget) is converted to modelled core-only joules with
+// the given calibration (zero value: DefaultPowerConfig). The same
+// calibration is handed to the controller, so the internal gauge the
+// joules objective steers on (ElasticReport.Joules/MeanWatts) and the
+// returned external account use one model. Runs are deterministic per
+// seed; the fig-power experiment is this function's sweep form.
+func SimulatePower(cfg SimConfig, ecfg ElasticConfig, pc PowerConfig, arrivals []Traffic, duration time.Duration) (SimMetrics, ElasticReport, float64) {
+	if pc == (PowerConfig{}) {
+		pc = power.DefaultConfig()
+	}
+	if ecfg.Power == (PowerConfig{}) {
+		ecfg.Power = pc
+	}
+	eng := sim.New()
+	root := xrand.New(cfg.Seed)
+	queues := make([]*nic.Queue, len(arrivals))
+	for i, p := range arrivals {
+		queues[i] = nic.NewQueue(i, p, root.Split(), ringOptions(cfg))
+	}
+	budget := cfg.M
+	if ecfg.Budget > budget {
+		budget = ecfg.Budget
+	}
+	cfg.Bus = telemetry.NewBus(len(arrivals), budget)
+	rt := core.New(eng, queues, cfg)
+	rt.Start()
+	if ecfg.MinThreads == 0 {
+		ecfg.MinThreads = len(arrivals)
+	}
+	ctrl := elastic.New(cfg.Bus, rt, ecfg)
+	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })
+	d := duration.Seconds()
+	eng.RunUntil(d)
+	rep := ctrl.Report(d)
+	rep.ThreadSeconds = rt.ProvisionedThreadSeconds(d)
+	if d > 0 {
+		rep.MeanThreads = rep.ThreadSeconds / d
+	}
+	res := rt.Residency(d, d, budget)
+	res.Freq = pc.FMax
+	return rt.Snapshot(d), rep, pc.TeamEnergy(res)
 }
 
 // ringOptions resolves the per-queue descriptor-ring options a SimConfig

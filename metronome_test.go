@@ -282,3 +282,51 @@ func TestSimulateRingCap(t *testing.T) {
 			small.Drops, big.Drops)
 	}
 }
+
+// TestSimulatePower pins the power-plane facade: the external joules
+// account is positive and consistent with the controller's internal gauge,
+// and on a trough-dominated day an elastic team under the joules objective
+// spends less modelled energy than the same deployment pinned at its
+// budget.
+func TestSimulatePower(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 2
+	cfg.Policy = metronome.PolicyRMetronome
+	cfg.VBar = 60e-6
+	cfg.Seed = 9
+	cfg.RingCap = 4096
+	// Mostly-idle day with a crowd in the middle third.
+	crowd := func() metronome.Traffic {
+		return metronome.StepTraffic{At: 0.1, Before: metronome.CBR{PPS: 0.5e6},
+			After: metronome.StepTraffic{At: 0.2, Before: metronome.CBR{PPS: 8e6},
+				After: metronome.CBR{PPS: 0.5e6}}}
+	}
+	arrivals := []metronome.Traffic{crowd(), crowd()}
+	run := func(minThreads int) (metronome.ElasticReport, float64) {
+		ecfg := metronome.DefaultElasticConfig(minThreads, 4)
+		ecfg.Objective = metronome.ElasticObjectiveJoules
+		ecfg.TargetOccupancy = 0.05
+		_, rep, joules := metronome.SimulatePower(cfg, ecfg, metronome.PowerConfig{}, arrivals, 300*time.Millisecond)
+		return rep, joules
+	}
+	repElastic, jElastic := run(2)
+	repPinned, jPinned := run(4)
+	if jElastic <= 0 || repElastic.Joules <= 0 || repElastic.MeanWatts <= 0 {
+		t.Fatalf("degenerate energy account: external=%.3f internal=%.3f meanW=%.3f",
+			jElastic, repElastic.Joules, repElastic.MeanWatts)
+	}
+	if repPinned.MinThreads != 4 || repPinned.MaxThreads != 4 {
+		t.Fatalf("pinned arm resized: %d..%d", repPinned.MinThreads, repPinned.MaxThreads)
+	}
+	if jElastic >= jPinned {
+		t.Fatalf("elastic spent %.3f J vs pinned %.3f J: shedding idle members saved nothing",
+			jElastic, jPinned)
+	}
+	// The two books use one power model; over a window dominated by the
+	// same deployment they must agree to first order (the internal gauge
+	// samples at tick boundaries, the external one integrates residency).
+	if ratio := repElastic.Joules / jElastic; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("internal gauge %.3f J vs external account %.3f J: books diverged",
+			repElastic.Joules, jElastic)
+	}
+}
