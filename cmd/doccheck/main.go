@@ -24,9 +24,10 @@ import (
 )
 
 // defaultDirs is the documented surface the repo commits to: the facade
-// package plus the telemetry and elastic planes. Widen deliberately — a
-// directory added here becomes an API-doc contract enforced by CI.
-var defaultDirs = []string{".", "internal/telemetry", "internal/elastic"}
+// package plus the telemetry, elastic and observability planes. Widen
+// deliberately — a directory added here becomes an API-doc contract
+// enforced by CI.
+var defaultDirs = []string{".", "internal/telemetry", "internal/elastic", "internal/obsv"}
 
 func main() {
 	flag.Parse()

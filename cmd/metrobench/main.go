@@ -7,11 +7,17 @@
 //	metrobench -run all -quick
 //
 // Output is the same rows/series the paper reports, as aligned text tables.
+//
+// -pprof-addr serves net/http/pprof on its own listener while the sweeps
+// run (off by default) — profile a long -run all the same way a production
+// service would be.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -33,8 +39,23 @@ func main() {
 		objective = flag.String("objective", "", "override the elastic cost objective for experiments that attach the controller: thread-seconds|joules")
 		hist      = flag.Bool("hist", true, "render the exact log-scale latency-tail panels for experiments that publish them (-hist=false drops them)")
 		doc       = flag.Bool("doc", false, "print the EXPERIMENTS.md paper-vs-measured skeleton and exit")
+		ppaddr    = flag.String("pprof-addr", "", "serve net/http/pprof while experiments run (off by default)")
 	)
 	flag.Parse()
+
+	if *ppaddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*ppaddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "metrobench: pprof listener failed:", err)
+			}
+		}()
+	}
 
 	if *doc {
 		experiments.Doc(os.Stdout)

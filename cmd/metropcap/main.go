@@ -4,6 +4,7 @@
 //	metropcap -gen -out unbalanced.pcap -n 1000 -heavy 0.30
 //	metropcap -info unbalanced.pcap -queues 3
 //	metropcap -replay unbalanced.pcap -queues 3 -m 3 -times 50 -elastic
+//	metropcap -replay unbalanced.pcap -elastic -metrics-addr :9090 -trace-out run.json
 //
 // -info parses the trace with the FloWatcher engine and reports per-flow
 // statistics plus how RSS would spread the flows over the given queue
@@ -17,23 +18,35 @@
 // bus.AddDrops, the live counterpart of the NIC's imissed counter, so an
 // attached elastic controller's loss override fires on real backpressure;
 // -elastic attaches that controller with the health layer on.
+//
+// The replay is observable while it runs. -metrics-addr serves the
+// telemetry bus as Prometheus text exposition at /metrics (scrape it, or
+// point metrotop at it) plus expvar at /debug/vars; -trace-out dumps the
+// run's flight recording — every controller decision and placement swap —
+// as Chrome trace-event JSON loadable in Perfetto; -pprof-addr serves
+// net/http/pprof on its own listener (off unless the flag is set).
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"metronome/internal/apps/flowatcher"
 	"metronome/internal/elastic"
 	"metronome/internal/mbuf"
+	"metronome/internal/obsv"
 	"metronome/internal/packet"
 	"metronome/internal/pcap"
 	"metronome/internal/ring"
 	"metronome/internal/runtime"
 	"metronome/internal/sched"
+	"metronome/internal/stats"
 	"metronome/internal/telemetry"
 )
 
@@ -52,6 +65,9 @@ func main() {
 		times   = flag.Int("times", 50, "trace repetitions for -replay")
 		speedup = flag.Float64("speedup", 20, "timestamp compression for -replay pacing")
 		elas    = flag.Bool("elastic", false, "attach the self-healing elastic controller to -replay")
+		metrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars during -replay (e.g. :9090)")
+		ppaddr  = flag.String("pprof-addr", "", "serve net/http/pprof during -replay (off by default)")
+		traceTo = flag.String("trace-out", "", "write the replay's flight recording as Chrome trace JSON (Perfetto-loadable)")
 	)
 	flag.Parse()
 
@@ -80,7 +96,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runReplay(records, *queues, *m, *times, *speedup, *elas, *seed)
+		runReplay(records, *queues, *m, *times, *speedup, *elas, *seed,
+			replayObsv{metricsAddr: *metrics, pprofAddr: *ppaddr, traceOut: *traceTo})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -141,10 +158,27 @@ func inspect(records []pcap.Record, queues int) {
 	}
 }
 
+// replayObsv bundles the replay's observability endpoints.
+type replayObsv struct {
+	metricsAddr string // Prometheus + expvar listener ("" = off)
+	pprofAddr   string // net/http/pprof listener ("" = off)
+	traceOut    string // Chrome trace JSON dump path ("" = off)
+}
+
+// serve starts an HTTP listener with the handler in the background; replay
+// endpoints live for the process, so nothing stops them.
+func serve(addr string, h http.Handler) {
+	go func() {
+		if err := http.ListenAndServe(addr, h); err != nil {
+			fmt.Fprintln(os.Stderr, "metropcap: listener", addr, "failed:", err)
+		}
+	}()
+}
+
 // runReplay is the live end of the planning view: the trace's flows land on
 // real rings via the same Toeplitz split and the live runtime retrieves
 // them under the shared-queue discipline.
-func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bool, seed uint64) {
+func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bool, seed uint64, ob replayObsv) {
 	const ringCap = 4096
 	pool := mbuf.NewPool(16384)
 	rss := packet.NewToeplitz(packet.DefaultRSSKey)
@@ -164,18 +198,44 @@ func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bo
 		bus.SetCapacity(q, ringCap)
 	}
 
+	// The flight recorder rides every replay: decisions and placement swaps
+	// land in the ring whether or not anything reads them, and -trace-out /
+	// -metrics-addr expose the recording.
+	rec := obsv.NewRecorder(obsv.DefaultCapacity)
+
 	// The burst-native application path: one FloWatcher shard per queue fed
 	// whole bursts through runtime.NewProc.
 	sharded := flowatcher.NewSharded(nq)
 	r := runtime.NewProc(rxqs, sharded.Procs(), nil, runtime.Config{
-		M:      m,
-		VBar:   100 * time.Microsecond,
-		Policy: sched.NameRMetronome,
-		Seed:   seed,
-		Bus:    bus,
+		M:        m,
+		VBar:     100 * time.Microsecond,
+		Policy:   sched.NameRMetronome,
+		Seed:     seed,
+		Bus:      bus,
+		Recorder: rec,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	go r.Run(ctx)
+
+	if ob.metricsAddr != "" {
+		mh := obsv.NewMetrics(obsv.ExportOptions{Bus: bus, Recorder: rec, TeamSize: r.TeamSize})
+		mh.PublishExpvar("metronome")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", mh)
+		mux.Handle("/debug/vars", expvar.Handler())
+		serve(ob.metricsAddr, mux)
+		fmt.Printf("metrics: http://%s/metrics (Prometheus), /debug/vars (expvar)\n", ob.metricsAddr)
+	}
+	if ob.pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		serve(ob.pprofAddr, mux)
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", ob.pprofAddr)
+	}
 
 	var ctrl *elastic.Controller
 	stopTick := make(chan struct{})
@@ -184,6 +244,7 @@ func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bo
 		ec.TargetOccupancy = 0.03
 		ec.Placement = true
 		ec.Health = true
+		ec.Recorder = rec
 		ctrl = elastic.New(bus, r, ec)
 		go func() {
 			tk := time.NewTicker(time.Millisecond)
@@ -221,6 +282,9 @@ func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bo
 			return
 		}
 		mb.SetFrame(frame)
+		// Stamp arrival so retrieval threads record this frame's latency
+		// into the bus histogram (the exact tails /metrics serves).
+		mb.RxStamp = time.Now()
 		if !rings[q].Enqueue(mb) {
 			mb.Free()
 			bus.AddDrops(q, 1)
@@ -236,9 +300,14 @@ func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bo
 
 	fmt.Printf("replayed %d packets (%d dropped producer-side) over %d queues, team %d\n",
 		sent, lost, nq, r.TeamSize())
+	var hist stats.LogHistogram
 	for q := 0; q < nq; q++ {
-		fmt.Printf("  queue %d: rx=%-7d drops=%-6d rho=%.3f TS=%v\n",
+		fmt.Printf("  queue %d: rx=%-7d drops=%-6d rho=%.3f TS=%v",
 			q, bus.Rx(q), bus.Drops(q), r.Rho(q), r.TS(q).Round(10*time.Microsecond))
+		if bus.SampleLatency(q, &hist); hist.N() > 0 {
+			fmt.Printf(" p99=%v", time.Duration(hist.Quantile(0.99)).Round(time.Microsecond))
+		}
+		fmt.Println()
 	}
 	fmt.Printf("flows: %d (%d malformed)\n", sharded.FlowCount(), sharded.Malformed())
 	for i, k := range sharded.TopK(3) {
@@ -249,6 +318,23 @@ func runReplay(records []pcap.Record, nq, m, times int, speedup float64, elas bo
 		rep := ctrl.Report(r.Elapsed())
 		fmt.Printf("elastic: M %d..%d, %d resizes, %d exiles, %d safe ticks, %d stale-queue ticks\n",
 			rep.MinThreads, rep.MaxThreads, rep.Resizes, rep.Exiles, rep.SafeTicks, rep.StaleQueueTicks)
+		if rep.Panics > 0 {
+			fmt.Printf("elastic: %d controller panics; first: %s\n", rep.Panics, rep.PanicMsg)
+		}
+	}
+	if ob.traceOut != "" {
+		f, err := os.Create(ob.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %d control-plane events to %s (load in Perfetto)\n",
+			len(rec.Events(nil)), ob.traceOut)
 	}
 }
 

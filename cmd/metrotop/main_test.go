@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"metronome/internal/obsv"
+	"metronome/internal/stats"
+	"metronome/internal/telemetry"
+)
+
+// The end-to-end smoke: a bus with known state served by the obsv metrics
+// handler, scraped over real HTTP, rendered as an operator frame. This is
+// the CI metrics-endpoint smoke test.
+func TestLiveFrameFromMetricsEndpoint(t *testing.T) {
+	bus := telemetry.NewBus(2, 4)
+	bus.SetOccupancy(0, 1024)
+	bus.SetCapacity(0, 4096)
+	bus.SetArrivalRate(0, 2.5e6)
+	bus.SetDrops(0, 7)
+	bus.SetCapacity(1, 4096)
+	for i := 0; i < 100; i++ {
+		bus.RecordLatency(0, uint64(1000*(i+1)))
+	}
+	rec := obsv.NewRecorder(64)
+	rec.RecordDecision(0.5, 3, 3, 0, 0.25, 0, 14.5, false, false, false)
+	rec.RecordExile(0.6, 2)
+
+	m := obsv.NewMetrics(obsv.ExportOptions{Bus: bus, Recorder: rec, TeamSize: func() int { return 3 }})
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+
+	frame, err := scrapeFrame(srv.URL, "metronome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"team 3", "want 3", "q0", "25.0%", "2.50 Mpps", "drops 7", "p99", "EXILED"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The rendered p99 is the in-process fold's conservative bucket edge,
+	// rendered with the same formatter — what-you-see-is-what-it-measured.
+	var fold stats.LogHistogram
+	bus.SampleLatency(0, &fold)
+	if want := "p99 " + fmtNs(fold.Quantile(0.99)); !strings.Contains(frame, want) {
+		t.Errorf("frame lacks the exact fold quantile %q:\n%s", want, frame)
+	}
+}
+
+// Trace mode folds a WriteText dump into the post-mortem frame.
+func TestTracePostMortem(t *testing.T) {
+	rec := obsv.NewRecorder(64)
+	rec.RecordDecision(0.001, 4, 4, 0x0103, 0.5, 0, 16, true, false, false)
+	rec.RecordExile(0.002, 1)
+	rec.RecordSafeMode(0.003, true, 4)
+	rec.RecordPanic(0.004, "boom", "stack")
+	var dump strings.Builder
+	if err := rec.WriteText(&dump); err != nil {
+		t.Fatal(err)
+	}
+	out, err := renderTrace(strings.NewReader(dump.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"4 events", "1 PANICS", "SAFE MODE", "EXILED AT END: threads 1", "last decision", "plan=3/1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, out)
+		}
+	}
+}

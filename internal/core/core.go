@@ -19,6 +19,7 @@ import (
 	"metronome/internal/faults"
 	"metronome/internal/hrtimer"
 	"metronome/internal/nic"
+	"metronome/internal/obsv"
 	"metronome/internal/power"
 	"metronome/internal/sched"
 	"metronome/internal/sim"
@@ -118,6 +119,14 @@ type Config struct {
 	// Tracer, when set, observes every thread transition (the Fig 3
 	// timeline); see the trace package for a renderer.
 	Tracer Tracer
+	// Recorder, when set, is the observability plane's flight recorder:
+	// every applied placement swap (ApplyPlacement/SetTeamSize that
+	// changed the layout) records one event stamped with virtual engine
+	// time, so recordings of a seeded run are byte-identical at any
+	// experiment-harness parallelism. The elastic controller carries its
+	// own Recorder reference for decision events; wiring both to one ring
+	// yields the interleaved control-plane timeline.
+	Recorder *obsv.Recorder
 }
 
 // Tracer observes thread state transitions.
@@ -486,6 +495,7 @@ func (r *Runtime) ApplyPlacement(perQueue []int) int {
 	}
 	r.active = total
 	r.refreshPlacement()
+	r.Cfg.Recorder.RecordPlacement(r.Eng.Now(), r.active, sched.PackPlacement(r.placement))
 	return r.active
 }
 

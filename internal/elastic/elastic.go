@@ -22,9 +22,12 @@ package elastic
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"time"
 
+	"metronome/internal/obsv"
 	"metronome/internal/power"
 	"metronome/internal/sched"
 	"metronome/internal/telemetry"
@@ -214,6 +217,15 @@ type Config struct {
 	// on; zero disables the limit. A recovering controller (outage ends,
 	// ticks resume) cannot burst-actuate its way through stale state.
 	MaxActuationsPerSec float64
+
+	// Recorder, when set, is the observability plane's control-plane tap:
+	// every tick's Decision (want/applied/plan/occupancy/feedforward/
+	// watts), each exile and un-exile, each safe-mode edge, each dark-loss
+	// classification, each rate-limit denial and each watchdog-recovered
+	// panic lands in the flight recorder at zero allocations per event,
+	// stamped with the tick's own substrate timestamp (the controller is
+	// clockless and stays so). Nil records nothing and costs one branch.
+	Recorder *obsv.Recorder
 }
 
 // Homer exposes a substrate's thread-to-home-queue mapping; core.Runtime and
@@ -373,6 +385,7 @@ type Controller struct {
 	minSeen       int
 	maxSeen       int
 	last          Decision
+	prevSafe      bool // previous tick's SafeMode, for recording edges
 }
 
 // New builds a controller over bus and team. The team is immediately
@@ -444,6 +457,15 @@ func (c *Controller) Tick(now float64) (d Decision) {
 		defer func() {
 			if r := recover(); r != nil {
 				c.health.panics++
+				// Capture the panic's value and stack — the report keeps
+				// the FIRST one (the panic that started a failure cascade
+				// is the diagnosable one), the flight recorder logs every
+				// one. This path allocates; a watchdog trip is not hot.
+				msg, stack := fmt.Sprint(r), string(debug.Stack())
+				if c.health.panicMsg == "" {
+					c.health.panicMsg, c.health.panicStack = msg, stack
+				}
+				c.cfg.Recorder.RecordPanic(now, msg, stack)
 				d = c.last
 			}
 		}()
@@ -471,6 +493,7 @@ func (c *Controller) tick(now float64) Decision {
 			c.health.seed(&c.snap, now)
 		}
 		c.last = Decision{At: now, Want: cur, Applied: cur}
+		c.recordTick(&c.last)
 		return c.last
 	}
 	dt := now - c.lastTick
@@ -531,6 +554,7 @@ func (c *Controller) tick(now float64) Decision {
 				// under-provisioned — polls see nothing to serve, so more
 				// threads cannot help. Excluded from the loss override.
 				d.DarkLoss += delta
+				c.cfg.Recorder.RecordDarkLoss(now, q, delta)
 			} else {
 				lossDelta += delta
 			}
@@ -673,7 +697,29 @@ func (c *Controller) finishTick(d Decision) Decision {
 		c.maxSeen = d.Applied
 	}
 	c.last = d
+	c.recordTick(&d)
 	return d
+}
+
+// recordTick lands one tick's flight-recorder events — the Decision
+// itself, a safe-mode edge when the flag flipped, and the tick's exiles
+// and recoveries — and tracks the safe-mode edge state. Zero allocations;
+// with no recorder wired only the edge state is kept.
+func (c *Controller) recordTick(d *Decision) {
+	if rec := c.cfg.Recorder; rec != nil {
+		rec.RecordDecision(d.At, d.Want, d.Applied, sched.PackPlacement(d.Plan),
+			d.Occupancy, d.Feedfwd, d.Watts, d.Resized, d.Rebalanced, d.SafeMode)
+		if d.SafeMode != c.prevSafe {
+			rec.RecordSafeMode(d.At, d.SafeMode, d.Applied)
+		}
+		for _, id := range d.Exiled {
+			rec.RecordExile(d.At, id)
+		}
+		for _, id := range d.Recovered {
+			rec.RecordRecover(d.At, id)
+		}
+	}
+	c.prevSafe = d.SafeMode
 }
 
 // occFraction reads queue q's sampled occupancy as a fraction of its ring
@@ -824,6 +870,12 @@ type Report struct {
 	StaleQueueTicks int
 	// Panics counts Tick bodies the watchdog recovered from.
 	Panics int
+	// PanicMsg is the first recovered panic's value (fmt.Sprint form) —
+	// empty when no tick panicked. The count alone made soak failures
+	// undiagnosable; the first panic is the one that starts a cascade.
+	PanicMsg string
+	// PanicStack is the goroutine stack captured with PanicMsg.
+	PanicStack string
 }
 
 // Report closes the accounting window at now and summarises it.
@@ -867,6 +919,8 @@ func (c *Controller) Report(now float64) Report {
 		rep.SafeTicks = h.safeTicks
 		rep.StaleQueueTicks = h.staleQTicks
 		rep.Panics = h.panics
+		rep.PanicMsg = h.panicMsg
+		rep.PanicStack = h.panicStack
 	}
 	return rep
 }
@@ -883,6 +937,7 @@ func (c *Controller) ResetStats(now float64) {
 	c.minSeen, c.maxSeen = cur, cur
 	if h := c.health; h != nil {
 		h.exiles, h.safeTicks, h.staleQTicks, h.panics = 0, 0, 0, 0
+		h.panicMsg, h.panicStack = "", ""
 	}
 }
 

@@ -30,6 +30,8 @@ type healthState struct {
 	safeTicks   int
 	staleQTicks int
 	panics      int
+	panicMsg    string // first watchdog-recovered panic's rendered value
+	panicStack  string // and its goroutine stack
 }
 
 func newHealthState(bus *telemetry.Bus) *healthState {
@@ -199,6 +201,7 @@ func (c *Controller) takeToken(now float64) bool {
 	}
 	h.tokensAt = now
 	if h.tokens < 1 {
+		c.cfg.Recorder.RecordRateLimit(now)
 		return false
 	}
 	h.tokens--

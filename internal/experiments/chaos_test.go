@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 
 	"metronome/internal/core"
 	"metronome/internal/elastic"
 	"metronome/internal/faults"
 	"metronome/internal/nic"
+	"metronome/internal/obsv"
 	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/telemetry"
@@ -73,6 +75,11 @@ func TestChaosSoakSim(t *testing.T) {
 	cfg.Bus = telemetry.NewBus(nq, budget)
 	inj := faults.New(budget, nq)
 	cfg.Faults = inj
+	// The soak's black box: every decision, exile, safe-mode edge and fault
+	// flip lands in the flight recorder, dumped below iff the soak fails.
+	rec := obsv.NewRecorder(1 << 14)
+	cfg.Recorder = rec
+	obsv.AttachFaults(inj, rec)
 	r := core.New(eng, queues, cfg)
 	r.Start()
 
@@ -81,6 +88,7 @@ func TestChaosSoakSim(t *testing.T) {
 	ec.Placement = true
 	ec.Health = true
 	ec.MaxActuationsPerSec = 500
+	ec.Recorder = rec
 	ctrl := elastic.New(cfg.Bus, r, ec)
 
 	allStale := uint64(1<<nq) - 1
@@ -197,7 +205,15 @@ func TestChaosSoakSim(t *testing.T) {
 		t.Errorf("team ended at %d, below MinThreads %d", got, minM)
 	}
 	if rep := ctrl.Report(eng.Now()); rep.Panics != 0 {
-		t.Errorf("controller panicked %d times during the soak", rep.Panics)
+		t.Errorf("controller panicked %d times during the soak; first: %s\n%s",
+			rep.Panics, rep.PanicMsg, rep.PanicStack)
+	}
+	if t.Failed() {
+		var dump strings.Builder
+		if err := rec.WriteText(&dump); err == nil {
+			t.Logf("flight recorder (last %d of %d events):\n%s",
+				len(rec.Events(nil)), rec.Total(), dump.String())
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"metronome/internal/elastic"
 	"metronome/internal/faults"
 	"metronome/internal/nic"
+	"metronome/internal/obsv"
 	"metronome/internal/power"
 	"metronome/internal/sim"
 	"metronome/internal/stats"
@@ -258,6 +259,12 @@ type runSpec struct {
 	// experiments register their recovery probes (engine tickers sampling
 	// ring state) through it.
 	hook func(eng *sim.Engine, r *core.Runtime, queues []*nic.Queue)
+	// recorder, when set, attaches the observability plane's flight
+	// recorder to every control-plane source in the deployment (substrate
+	// placements, elastic decisions, fault flips) and resets it at the
+	// warm-up boundary like every other windowed stat, so decision-trace
+	// panels cover the measurement window only.
+	recorder *obsv.Recorder
 }
 
 // overridePolicy yields the Options-level discipline override for a
@@ -287,6 +294,9 @@ func runMetronome(s runSpec) (*core.Runtime, core.Metrics) {
 func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report) {
 	if s.policy != "" {
 		s.cfg.Policy = s.policy
+	}
+	if s.recorder != nil {
+		s.cfg.Recorder = s.recorder
 	}
 	if s.elastic != nil || s.telemetry {
 		budget := s.cfg.M
@@ -328,6 +338,9 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 		if ec.MinThreads == 0 {
 			ec.MinThreads = len(s.procs)
 		}
+		if s.recorder != nil {
+			ec.Recorder = s.recorder
+		}
 		// Construct after Start: the controller's initial clamp resizes
 		// through the live resize path, never double-arming first wakes.
 		ctrl = elastic.New(s.cfg.Bus, r, ec)
@@ -339,6 +352,7 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 		})
 	}
 	if inj != nil {
+		obsv.AttachFaults(inj, s.recorder) // no-op when no recorder is wired
 		faults.Schedule(eng, inj, s.faults)
 	}
 	if s.hook != nil {
@@ -369,6 +383,9 @@ func runMetronomeElastic(s runSpec) (*core.Runtime, core.Metrics, elastic.Report
 		if ctrl != nil {
 			ctrl.ResetStats(eng.Now())
 		}
+		// The flight recorder windows with the other stats: the engine is
+		// parked at the warm-up boundary, so the reset cannot race writers.
+		s.recorder.Reset()
 	}
 	eng.RunUntil(s.warmup + s.dur)
 	end := s.warmup + s.dur

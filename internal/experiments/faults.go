@@ -7,6 +7,7 @@ import (
 	"metronome/internal/elastic"
 	"metronome/internal/faults"
 	"metronome/internal/nic"
+	"metronome/internal/obsv"
 	"metronome/internal/sched"
 	"metronome/internal/sim"
 	"metronome/internal/traffic"
@@ -43,11 +44,15 @@ func obliviousTuning(minThreads, budget int) *elastic.Config {
 	return ec
 }
 
-// faultMode is one comparison arm of a fault panel.
+// faultMode is one comparison arm of a fault panel. rec, when non-nil,
+// attaches a flight recorder to the arm's control plane (recording is
+// passive, so the arm's physics are unchanged); the panel folds the ring
+// into a decision-trace table beside the figure.
 type faultMode struct {
 	name string
 	m    int
 	ecfg *elastic.Config
+	rec  *obsv.Recorder
 }
 
 // faultResult carries one arm's rendered row plus the raw quantities the
@@ -78,6 +83,7 @@ func faultRow(mode faultMode, procs []traffic.Process, evs []faults.Event,
 	d, warmup, faultEnd float64, probeQ int, clean bool, seed uint64) faultResult {
 	spec := elasticSpec(sched.NameRMetronome, mode.m, procs, d, warmup, seed, mode.ecfg)
 	spec.faults = evs
+	spec.recorder = mode.rec
 	if clean {
 		// Straggler and blackout panels run on a clean host: the injected
 		// fault is the only outage source, so the arms differ by their
@@ -149,7 +155,8 @@ func faultTables(o Options, main *Table, results []faultResult, tailID, tailTitl
 
 // stragglerResults runs the straggler-storm arms and returns the raw
 // results; the acceptance test asserts the oracle/self-heal/oblivious loss
-// ratios on these directly.
+// ratios on these directly. rec, when non-nil, rides the self-healing arm
+// as its flight recorder.
 //
 // The physics: queue 0 trickles at 150 Kpps, so its 4096-descriptor ring
 // absorbs a ~27 ms outage before overflowing, while the health layer's
@@ -159,7 +166,7 @@ func faultTables(o Options, main *Table, results []faultResult, tailID, tailTitl
 // A single-member group never visits backups (the backup path only triggers
 // on a lost race), so without intervention the queue starves for the full
 // stall and drops the last ~13 ms of arrivals.
-func stragglerResults(o Options) ([]faultResult, float64) {
+func stragglerResults(o Options, rec *obsv.Recorder) ([]faultResult, float64) {
 	d := dur(o, 0.8)
 	warmup := 0.25 * d
 	procs := []traffic.Process{
@@ -174,7 +181,7 @@ func stragglerResults(o Options) ([]faultResult, float64) {
 		{name: "oracle-static-3", m: 3},
 		{name: "static-2", m: 2},
 		{name: "elastic-oblivious-2..4", m: 2, ecfg: obliviousTuning(2, 4)},
-		{name: "elastic-selfheal-2..4", m: 2, ecfg: healingTuning(2, 4)},
+		{name: "elastic-selfheal-2..4", m: 2, ecfg: healingTuning(2, 4), rec: rec},
 	}
 	results := parMap(o, len(modes), func(i int) faultResult {
 		return faultRow(modes[i], procs, evs, d, warmup, faultEnd, 0, true, o.Seed+uint64(1600+i))
@@ -183,8 +190,9 @@ func stragglerResults(o Options) ([]faultResult, float64) {
 }
 
 func faultsStragglerPanel(o Options) []*Table {
-	results, _ := stragglerResults(o)
-	return faultTables(o, &Table{
+	rec := obsv.NewRecorder(obsv.DefaultCapacity)
+	results, _ := stragglerResults(o, rec)
+	tables := faultTables(o, &Table{
 		ID:      "fig-faults-straggler",
 		Title:   "straggler storm (thread 0 preempted 40 ms every 80 ms), 150 Kpps + 6 Mpps over 2 queues",
 		Columns: faultColumns,
@@ -194,6 +202,8 @@ func faultsStragglerPanel(o Options) []*Table {
 			"the health layer sees the frozen heartbeat within its liveness bound and exiles the straggler — a corrective plan reinforces its home queue before the ring overflows, matching the oracle's loss at a fraction of its thread-seconds",
 		},
 	}, results, "fig-faults-tails-straggler", "straggler storm — exact latency tails")
+	return append(tables, traceTable("fig-faults-trace",
+		"self-healing arm under the straggler storm — flight-recorder decision trace", rec))
 }
 
 func faultsBlackoutPanel(o Options) []*Table {

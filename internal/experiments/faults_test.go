@@ -1,15 +1,23 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"metronome/internal/obsv"
+)
 
 // The fault plane's acceptance gate, asserted on the straggler-storm panel
 // at full duration (quick mode compresses the stall below the liveness
 // bound, so the physics only hold at scale): the self-healing controller
 // matches the oracle's loss within 2x plus a small quantisation floor, the
 // oblivious controller pays more than 10x, and the win comes from actual
-// exiles — not from the storm being harmless.
+// exiles — not from the storm being harmless. A flight recorder rides the
+// self-healing arm, so the gate also pins the observability contract: the
+// ring must hold exactly the exiles the Report counted, and the fault
+// plane's own flag flips must appear through AttachFaults.
 func TestFigFaultsStragglerAcceptance(t *testing.T) {
-	results, _ := stragglerResults(Options{Seed: 1})
+	rec := obsv.NewRecorder(0)
+	results, _ := stragglerResults(Options{Seed: 1}, rec)
 	byName := map[string]faultResult{}
 	for _, r := range results {
 		byName[r.name] = r
@@ -33,5 +41,16 @@ func TestFigFaultsStragglerAcceptance(t *testing.T) {
 	}
 	if selfheal.exiles == 0 {
 		t.Error("self-healing arm never exiled the straggler")
+	}
+	counts := rec.CountByKind()
+	if counts[obsv.EvExile] != selfheal.exiles {
+		t.Errorf("flight recorder holds %d exile events, Report counted %d",
+			counts[obsv.EvExile], selfheal.exiles)
+	}
+	if counts[obsv.EvDecision] == 0 {
+		t.Error("flight recorder holds no decision events from the elastic arm")
+	}
+	if counts[obsv.EvFault] == 0 {
+		t.Error("flight recorder saw no fault flag flips through AttachFaults")
 	}
 }

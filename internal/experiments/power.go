@@ -5,6 +5,7 @@ import (
 
 	"metronome/internal/elastic"
 	"metronome/internal/faults"
+	"metronome/internal/obsv"
 	"metronome/internal/power"
 	"metronome/internal/sched"
 	"metronome/internal/traffic"
@@ -27,6 +28,7 @@ type powerMode struct {
 	name string
 	m    int
 	ecfg *elastic.Config
+	rec  *obsv.Recorder // optional flight recorder riding the arm
 }
 
 // powerTuning is elasticTuning with the power objective under test.
@@ -102,6 +104,7 @@ func powerRow(mode powerMode, procs []traffic.Process, evs []faults.Event, d, wa
 	// controller's crowd signal.
 	spec.cfg.VBar = 60e-6
 	spec.faults = evs
+	spec.recorder = mode.rec
 	rt, met, rep := runMetronomeElastic(spec)
 	pc := power.DefaultConfig()
 	res := rt.Residency(warmup+d, d, powerBudget)
@@ -136,8 +139,9 @@ func powerRow(mode powerMode, procs []traffic.Process, evs []faults.Event, d, wa
 // powerResults runs the fig-power arms and fills the saving column
 // against the baseline the paper's claim names: the smallest static rung
 // that rides out the peak at zero loss. The acceptance test asserts the
-// elastic saving on these results directly.
-func powerResults(o Options) ([]powerResult, int) {
+// elastic saving on these results directly. rec, when non-nil, rides the
+// joules-objective arm as its flight recorder.
+func powerResults(o Options, rec *obsv.Recorder) ([]powerResult, int) {
 	d := dur(o, 0.8)
 	warmup := 0.25 * d
 
@@ -180,7 +184,7 @@ func powerResults(o Options) ([]powerResult, int) {
 		{name: "static-6", m: 6},
 		{name: "static-8", m: 8},
 		{name: "elastic-ts-4..8", m: 4, ecfg: powerTuning(4, powerBudget, elastic.ObjectiveThreadSeconds)},
-		{name: "elastic-joules-4..8", m: 4, ecfg: powerTuning(4, powerBudget, elastic.ObjectiveJoules)},
+		{name: "elastic-joules-4..8", m: 4, ecfg: powerTuning(4, powerBudget, elastic.ObjectiveJoules), rec: rec},
 	}
 	results := parMap(o, len(modes), func(i int) powerResult {
 		return powerRow(modes[i], procs, evs, d, warmup, o.Seed+uint64(1700+i))
@@ -203,7 +207,8 @@ func powerResults(o Options) ([]powerResult, int) {
 }
 
 func runPower(o Options) []*Table {
-	results, base := powerResults(o)
+	rec := obsv.NewRecorder(obsv.DefaultCapacity)
+	results, base := powerResults(o, rec)
 	rows := make([][]string, len(results))
 	tails := make([][]string, len(results))
 	for i, r := range results {
@@ -226,5 +231,6 @@ func runPower(o Options) []*Table {
 	if !o.NoHist {
 		tables = append(tables, tailsTable("fig-power-tails", "power day — exact latency tails", tails))
 	}
-	return tables
+	return append(tables, traceTable("fig-power-trace",
+		"joules-objective arm across the power day — flight-recorder decision trace", rec))
 }

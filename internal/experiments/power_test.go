@@ -10,7 +10,7 @@ import "testing"
 // deterministic per seed (clean host, injected preemption storm), so these
 // are exact replay assertions, not statistical ones.
 func TestFigPowerAcceptance(t *testing.T) {
-	results, base := powerResults(Options{Seed: 1})
+	results, base := powerResults(Options{Seed: 1}, nil)
 	byName := map[string]powerResult{}
 	for _, r := range results {
 		byName[r.name] = r

@@ -54,7 +54,17 @@ type Injector struct {
 	threads []threadFault
 	queues  []queueFault
 	ctrl    atomic.Bool
+	obs     func(Event)
 }
+
+// Observe registers fn to be called synchronously from Apply with every
+// fault event as it lands — the observability plane's hook (see
+// obsv.AttachFaults) for recording flag flips with their substrate
+// timestamps. One observer; nil clears. Register before any event can
+// fire (before faults.Schedule on the sim substrate, before the run
+// starts live): the registration itself is not synchronized against a
+// concurrent Apply.
+func (f *Injector) Observe(fn func(Event)) { f.obs = fn }
 
 // New builds an injector over maxThreads thread slots and nQueues queues.
 func New(maxThreads, nQueues int) *Injector {
@@ -251,6 +261,9 @@ func (f *Injector) Apply(ev Event) {
 		f.SuppressController(false)
 	default:
 		panic(fmt.Sprintf("faults: unknown event kind %d", int(ev.Kind)))
+	}
+	if f.obs != nil {
+		f.obs(ev)
 	}
 }
 

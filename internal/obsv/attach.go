@@ -1,0 +1,19 @@
+package obsv
+
+import "metronome/internal/faults"
+
+// AttachFaults wires a fault injector's event stream into the flight
+// recorder: every flag flip Apply lands (scheduled engine events on the
+// sim substrate, direct Apply calls live) records one EvFault with the
+// event's own substrate timestamp — clockless on both substrates. Call
+// before the injector starts applying events (the observer registration
+// is not synchronized against concurrent Apply). Nil injector or
+// recorder is a no-op.
+func AttachFaults(inj *faults.Injector, r *Recorder) {
+	if inj == nil || r == nil {
+		return
+	}
+	inj.Observe(func(ev faults.Event) {
+		r.RecordFault(ev.At, int(ev.Kind), ev.Target)
+	})
+}

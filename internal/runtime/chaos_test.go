@@ -4,11 +4,13 @@ import (
 	"context"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"metronome/internal/obsv"
 	"metronome/internal/sched"
 	"metronome/internal/xrand"
 )
@@ -40,8 +42,13 @@ func TestChaosSoakLive(t *testing.T) {
 	ops := chaosEnv("CHAOS_OPS", 80)
 	t.Logf("chaos soak: CHAOS_SEED=%d CHAOS_OPS=%d (env to reproduce/shrink)", seed, ops)
 
-	bench, r, inj, processed, stop := faultBench(t, 4, Config{Policy: sched.NameRMetronome, Seed: seed})
+	// The soak's black box: placement swaps and fault flips land in the
+	// flight recorder from the racing goroutines (the ring is lock-free on
+	// the live substrate too), dumped below iff the soak fails.
+	rec := obsv.NewRecorder(1 << 14)
+	bench, r, inj, processed, stop := faultBench(t, 4, Config{Policy: sched.NameRMetronome, Seed: seed, Recorder: rec})
 	defer stop()
+	obsv.AttachFaults(inj, rec)
 	ctx := context.Background()
 
 	var sent atomic.Int64
@@ -101,13 +108,23 @@ func TestChaosSoakLive(t *testing.T) {
 	}()
 	wg.Wait()
 
+	dump := func() {
+		var b strings.Builder
+		if err := rec.WriteText(&b); err == nil {
+			t.Logf("flight recorder (last %d of %d events):\n%s",
+				len(rec.Events(nil)), rec.Total(), b.String())
+		}
+	}
 	if !drainTo(processed, uint64(sent.Load()), 10*time.Second) {
+		dump()
 		t.Fatalf("processed %d of %d after the soak cleared", processed.Load(), sent.Load())
 	}
 	if bench.pool.Available() != bench.pool.Size() {
+		dump()
 		t.Fatalf("pool leak: %d/%d", bench.pool.Available(), bench.pool.Size())
 	}
 	if cycles := r.Stats.Cycles.Load(); cycles == 0 {
+		dump()
 		t.Fatal("no cycles recorded through the soak")
 	}
 }

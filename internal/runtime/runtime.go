@@ -16,6 +16,7 @@ import (
 	"metronome/internal/faults"
 	"metronome/internal/hrtimer"
 	"metronome/internal/mbuf"
+	"metronome/internal/obsv"
 	"metronome/internal/ring"
 	"metronome/internal/sched"
 	"metronome/internal/telemetry"
@@ -174,6 +175,13 @@ type Config struct {
 	// Dephase enables turn-aware wake de-phasing in the shared-queue
 	// disciplines (see sched.Dephaser).
 	Dephase bool
+	// Recorder, when set, is the observability plane's flight recorder:
+	// every applied placement swap records one event stamped with the
+	// runner's elapsed-seconds clock (zero before Run starts). The elastic
+	// controller carries its own Recorder reference for decision events;
+	// wiring both to one ring yields the interleaved control-plane
+	// timeline.
+	Recorder *obsv.Recorder
 	// Seed drives backup queue selection.
 	Seed uint64
 }
@@ -229,6 +237,7 @@ type Runner struct {
 	dephase sched.Dephaser    // non-nil when the policy staggers group wakes
 	bus     *telemetry.Bus    // nil unless Config.Bus
 	faults  *faults.Injector  // nil unless Config.Faults
+	rec     *obsv.Recorder    // nil unless Config.Recorder
 	lens    []func() int      // per-queue occupancy probes (nil if unknowable)
 	occAt   []atomic.Int64    // per-queue nanotime of the last OccAvg fold
 	state   []queueState
@@ -324,6 +333,7 @@ func newRunner(queues []RxQueue, handler Handler, procs []apps.BurstProcessor, e
 	r.dephase, _ = r.policy.(sched.Dephaser)
 	r.bus = cfg.Bus
 	r.faults = cfg.Faults
+	r.rec = cfg.Recorder
 	r.teamSize.Store(int32(cfg.M))
 	// Occupancy probes: any queue exposing Len (RxRing does) feeds the
 	// telemetry plane; opaque sources simply stay dark on that signal.
@@ -450,6 +460,13 @@ func (r *Runner) SetTeamSize(m int) int {
 // goroutine while running.
 func (r *Runner) ApplyPlacement(perQueue []int) int {
 	sizes, total := sched.NormalizePlacement(perQueue, len(r.queues))
+	at := 0.0
+	if r.rec != nil {
+		// Stamp before taking resizeMu — Elapsed acquires it too, and the
+		// flight recorder's clockless contract wants the caller's clock,
+		// not a lock-ordered one.
+		at = r.Elapsed()
+	}
 	r.resizeMu.Lock()
 	defer r.resizeMu.Unlock()
 	if total == int(r.teamSize.Load()) && r.placementUnchangedLocked(sizes) {
@@ -474,6 +491,7 @@ func (r *Runner) ApplyPlacement(perQueue []int) int {
 	// team size.
 	close(r.resizeCh)
 	r.resizeCh = make(chan struct{})
+	r.rec.RecordPlacement(at, total, sched.PackPlacement(sizes))
 	return total
 }
 

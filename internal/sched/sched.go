@@ -202,6 +202,38 @@ func NormalizePlacement(perQueue []int, n int) ([]int, int) {
 	return sizes, total
 }
 
+// PackPlacement packs a normalised per-queue plan into one uint64 — byte
+// q holds queue q's member count — so the observability plane can record
+// a whole placement in a single atomic word at zero allocations. Plans
+// that cannot fit (more than 8 queues, a count outside 1..255) return 0,
+// which is unambiguous: NormalizePlacement clamps every entry to >= 1,
+// so a representable plan never packs to zero. Decode with
+// UnpackPlacement; a zero byte terminates the plan.
+func PackPlacement(perQueue []int) uint64 {
+	if len(perQueue) == 0 || len(perQueue) > 8 {
+		return 0
+	}
+	var p uint64
+	for q, m := range perQueue {
+		if m < 1 || m > 255 {
+			return 0
+		}
+		p |= uint64(m) << (8 * uint(q))
+	}
+	return p
+}
+
+// UnpackPlacement expands a PackPlacement word back into per-queue
+// counts, appending to dst's backing array (pass nil to allocate); the
+// zero word (unpackable plan) yields an empty slice.
+func UnpackPlacement(p uint64, dst []int) []int {
+	dst = dst[:0]
+	for ; p != 0; p >>= 8 {
+		dst = append(dst, int(p&0xff))
+	}
+	return dst
+}
+
 // PlacementEqual reports whether two per-queue plans place identically.
 func PlacementEqual(a, b []int) bool {
 	if len(a) != len(b) {

@@ -34,6 +34,7 @@ import (
 	"metronome/internal/mbuf"
 	"metronome/internal/model"
 	"metronome/internal/nic"
+	"metronome/internal/obsv"
 	"metronome/internal/packet"
 	"metronome/internal/power"
 	"metronome/internal/ring"
@@ -334,6 +335,67 @@ func StragglerStorm(evs []FaultEvent, thread int, from, before, period, stall fl
 	return faults.Storm(evs, thread, from, before, period, stall)
 }
 
+// --- observability plane -------------------------------------------------------
+
+// The observability plane watches the control plane without perturbing it:
+// a lock-free flight recorder of structured events (decisions, placement
+// swaps, exiles, safe-mode edges, fault flips) wired in through
+// RunnerConfig.Recorder / ElasticConfig.Recorder, and a stdlib-only
+// Prometheus/expvar exporter over the telemetry bus. Recording costs zero
+// allocations per event; a nil recorder costs one branch.
+type (
+	// TraceRecorder is the flight recorder: a fixed-capacity lock-free
+	// ring of control-plane events, dumpable as text or Chrome trace JSON.
+	TraceRecorder = obsv.Recorder
+	// TraceEvent is one decoded flight-recorder entry.
+	TraceEvent = obsv.Event
+	// TraceEventKind identifies what a TraceEvent describes.
+	TraceEventKind = obsv.Kind
+	// MetricsHandler serves the telemetry bus (and optionally a recorder)
+	// as Prometheus text-format exposition; it is an http.Handler.
+	MetricsHandler = obsv.Metrics
+	// MetricsOptions wires a MetricsHandler to its sources.
+	MetricsOptions = obsv.ExportOptions
+)
+
+// Flight-recorder event kinds, for filtering TraceRecorder.Events output.
+const (
+	// TraceDecision is one elastic controller tick.
+	TraceDecision = obsv.EvDecision
+	// TracePlacement is a standalone per-queue apportionment swap.
+	TracePlacement = obsv.EvPlacement
+	// TraceExile marks a straggler latched out of its service group.
+	TraceExile = obsv.EvExile
+	// TraceRecover marks an exiled thread readmitted.
+	TraceRecover = obsv.EvRecover
+	// TraceSafeEnter marks the controller freezing on stale telemetry.
+	TraceSafeEnter = obsv.EvSafeEnter
+	// TraceSafeExit marks telemetry freshness restored.
+	TraceSafeExit = obsv.EvSafeExit
+	// TraceDarkLoss is a reconciler-detected silent drop window.
+	TraceDarkLoss = obsv.EvDarkLoss
+	// TraceFault is an injected fault flag flip (see AttachFaultTrace).
+	TraceFault = obsv.EvFault
+	// TraceRateLimit marks a resize withheld by the actuation governor.
+	TraceRateLimit = obsv.EvRateLimit
+	// TracePanic is a controller-tick panic swallowed by the watchdog.
+	TracePanic = obsv.EvPanic
+)
+
+// NewTraceRecorder builds a flight recorder holding the most recent
+// capacity events (<= 0 selects the default, 4096).
+func NewTraceRecorder(capacity int) *TraceRecorder { return obsv.NewRecorder(capacity) }
+
+// NewMetricsHandler builds the Prometheus exposition handler; mount it on
+// any mux (conventionally at /metrics) and point a scraper — or the
+// metrotop operator view — at it.
+func NewMetricsHandler(opt MetricsOptions) *MetricsHandler { return obsv.NewMetrics(opt) }
+
+// AttachFaultTrace routes a fault injector's flag flips into the flight
+// recorder, so injected failures appear on the same timeline as the
+// control loop's reactions to them. Nil-safe on both arguments.
+func AttachFaultTrace(inj *FaultInjector, rec *TraceRecorder) { obsv.AttachFaults(inj, rec) }
+
 // --- power plane ---------------------------------------------------------------
 
 // The power plane prices a deployment's sleep-state residency with a
@@ -458,6 +520,9 @@ func SimulateElastic(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, dura
 	if ecfg.MinThreads == 0 {
 		ecfg.MinThreads = len(arrivals)
 	}
+	if ecfg.Recorder == nil {
+		ecfg.Recorder = cfg.Recorder
+	}
 	ctrl := elastic.New(cfg.Bus, rt, ecfg)
 	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })
 	d := duration.Seconds()
@@ -475,7 +540,9 @@ func SimulateElastic(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, dura
 // deployment (cfg.Faults is overwritten), and ControllerDown windows
 // suppress the controller's tick source. With ecfg.Health set, this is the
 // self-healing loop of the fig-faults experiment; without it, the oblivious
-// baseline. Runs are byte-identical per seed at any parallelism.
+// baseline. With cfg.Recorder set, injected fault flips and the control
+// loop's reactions land on one flight-recorder timeline. Runs are
+// byte-identical per seed at any parallelism.
 func SimulateFaults(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, duration time.Duration, events []FaultEvent) (SimMetrics, ElasticReport) {
 	eng := sim.New()
 	root := xrand.New(cfg.Seed)
@@ -490,10 +557,14 @@ func SimulateFaults(cfg SimConfig, ecfg ElasticConfig, arrivals []Traffic, durat
 	cfg.Bus = telemetry.NewBus(len(arrivals), budget)
 	inj := faults.New(budget, len(arrivals))
 	cfg.Faults = inj
+	obsv.AttachFaults(inj, cfg.Recorder)
 	rt := core.New(eng, queues, cfg)
 	rt.Start()
 	if ecfg.MinThreads == 0 {
 		ecfg.MinThreads = len(arrivals)
+	}
+	if ecfg.Recorder == nil {
+		ecfg.Recorder = cfg.Recorder
 	}
 	ctrl := elastic.New(cfg.Bus, rt, ecfg)
 	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() {
@@ -542,6 +613,9 @@ func SimulatePower(cfg SimConfig, ecfg ElasticConfig, pc PowerConfig, arrivals [
 	rt.Start()
 	if ecfg.MinThreads == 0 {
 		ecfg.MinThreads = len(arrivals)
+	}
+	if ecfg.Recorder == nil {
+		ecfg.Recorder = cfg.Recorder
 	}
 	ctrl := elastic.New(cfg.Bus, rt, ecfg)
 	eng.Ticker(ctrl.Config().Period, "elastic-tick", func() { ctrl.Tick(eng.Now()) })

@@ -2,7 +2,11 @@ package metronome_test
 
 import (
 	"context"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -261,6 +265,97 @@ func TestPublicFaultAPI(t *testing.T) {
 	m2, r2 := run(true)
 	if mHeal.Cycles != m2.Cycles || mHeal.Drops != m2.Drops || rHeal.Exiles != r2.Exiles {
 		t.Fatalf("faulted runs diverged:\n%+v %+v\n%+v %+v", mHeal, rHeal, m2, r2)
+	}
+}
+
+// TestPublicObservabilityAPI drives the observability plane through the
+// facade only: a flight recorder riding a faulted self-healing run (one
+// timeline holding injected faults, controller decisions and exiles), the
+// text/trace dumps, and the Prometheus exposition handler over a bus.
+func TestPublicObservabilityAPI(t *testing.T) {
+	cfg := metronome.DefaultSimConfig()
+	cfg.M = 2
+	cfg.Policy = metronome.PolicyRMetronome
+	cfg.Seed = 11
+	cfg.RingCap = 2048
+	arrivals := []metronome.Traffic{
+		metronome.CBR{PPS: 150e3},
+		metronome.CBR{PPS: 1e6},
+	}
+	evs := metronome.StragglerStorm(nil, 0, 0.08, 0.26, 0.03, 0.02)
+	run := func() (*metronome.TraceRecorder, metronome.ElasticReport) {
+		rec := metronome.NewTraceRecorder(0)
+		c := cfg
+		c.Recorder = rec
+		ecfg := metronome.DefaultElasticConfig(2, 4)
+		ecfg.TargetOccupancy = 0.05
+		ecfg.Placement = true
+		ecfg.Health = true
+		_, rep := metronome.SimulateFaults(c, ecfg, arrivals, 300*time.Millisecond, evs)
+		return rec, rep
+	}
+	rec, rep := run()
+
+	counts := rec.CountByKind()
+	if counts[metronome.TraceDecision] == 0 {
+		t.Fatal("no controller decisions on the recorder")
+	}
+	if counts[metronome.TraceFault] == 0 {
+		t.Fatal("injected fault flips did not reach the recorder")
+	}
+	if got := counts[metronome.TraceExile]; rep.Exiles != got {
+		t.Fatalf("recorder saw %d exiles, report says %d", got, rep.Exiles)
+	}
+	// Every event decodes through the public aliases.
+	var fault, exile bool
+	for _, e := range rec.Events(nil) {
+		switch e.Kind {
+		case metronome.TraceFault:
+			fault = true
+		case metronome.TraceExile:
+			exile = e.Target() >= 0
+		}
+	}
+	if !fault || !exile {
+		t.Fatalf("decode through aliases incomplete: fault=%v exile=%v", fault, exile)
+	}
+
+	// The dumps are deterministic: a re-run's text is byte-identical.
+	var a, b strings.Builder
+	if err := rec.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	rec2, _ := run()
+	if err := rec2.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("flight-recorder text dump diverged across identical runs")
+	}
+
+	// The exposition handler serves the recorder's counters over HTTP.
+	bus := metronome.NewTelemetryBus(1, 2)
+	bus.RecordLatency(0, 1000)
+	h := metronome.NewMetricsHandler(metronome.MetricsOptions{Bus: bus, Recorder: rec})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`metronome_events_total{kind="fault"}`,
+		`metronome_events_total{kind="exile"}`,
+		"metronome_queue_latency_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %s", want)
+		}
 	}
 }
 
