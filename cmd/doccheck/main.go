@@ -24,10 +24,10 @@ import (
 )
 
 // defaultDirs is the documented surface the repo commits to: the facade
-// package plus the telemetry, elastic and observability planes. Widen
-// deliberately — a directory added here becomes an API-doc contract
+// package plus the telemetry, elastic, observability and mbuf planes.
+// Widen deliberately — a directory added here becomes an API-doc contract
 // enforced by CI.
-var defaultDirs = []string{".", "internal/telemetry", "internal/elastic", "internal/obsv"}
+var defaultDirs = []string{".", "internal/telemetry", "internal/elastic", "internal/obsv", "internal/mbuf"}
 
 func main() {
 	flag.Parse()

@@ -2,14 +2,25 @@
 // mould of DPDK's rte_mbuf/rte_mempool: buffers are preallocated once,
 // leased and returned without garbage, and the pool is safe for concurrent
 // use by producer and consumer threads.
+//
+// The pool is built like rte_mempool: a lock-free shared backing store (an
+// MPMC bulk ring from internal/ring) fronted by optional per-thread
+// magazine caches (Pool.NewCache). The cached burst paths — Cache.GetBurst
+// and Cache.PutBurst — serve and absorb whole bursts out of thread-local
+// storage and touch the shared ring only in watermark-sized spans, so the
+// steady-state cost of leasing a buffer is a few local slice operations,
+// not a contended lock acquisition. Pool.Get and Mbuf.Free remain as the
+// degenerate single-element path (one lock-free ring operation each), so
+// callers that predate the caches keep working unchanged.
 package mbuf
 
 import (
 	"errors"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"metronome/internal/packet"
+	"metronome/internal/ring"
 )
 
 // ErrExhausted reports an allocation from an empty pool — the software
@@ -17,16 +28,35 @@ import (
 // imissed drops.
 var ErrExhausted = errors.New("mbuf: pool exhausted")
 
+// epoch anchors the package's monotonic clock; see Nanotime. It sits one
+// hour before process start so that zero stays reserved for "unstamped"
+// even when a caller backdates a stamp (tests script stamps in the past).
+var epoch = time.Now().Add(-time.Hour)
+
+// Nanotime returns nanoseconds elapsed on the process-local monotonic
+// clock (time.Since over a package-init epoch, so it never reads the wall
+// clock and never goes backwards). It is the unit of Mbuf.RxStampNs:
+// producers stamp arrivals with Nanotime(), consumers subtract their own
+// Nanotime() read to get a latency. Values are only comparable within one
+// process.
+func Nanotime() int64 { return int64(time.Since(epoch)) }
+
 // Mbuf is one packet buffer. Data aliases a fixed backing array owned by
 // the pool; Len is the frame length in use.
 type Mbuf struct {
-	Data    []byte
-	Len     int
-	RxStamp time.Time      // arrival timestamp (latency accounting)
-	Key     packet.FlowKey // parsed 5-tuple, filled by the Rx path
-	Meta    uint64         // scratch for applications (e.g. next hop)
-	pool    *Pool
-	backing [maxFrame]byte
+	Data []byte // frame bytes (aliases the pool-owned backing array)
+	Len  int    // frame length in use
+	// RxStampNs is the arrival timestamp in Nanotime() nanoseconds
+	// (process-local monotonic clock), used for latency accounting. Zero
+	// means unstamped: consumers must skip, not record, such buffers. An
+	// int64 instead of a time.Time keeps the 2KB buffer pointer-free (no
+	// *time.Location for the GC to scan) and lets producers stamp with a
+	// monotonic read instead of a full wall-clock read.
+	RxStampNs int64
+	Key       packet.FlowKey // parsed 5-tuple, filled by the Rx path
+	Meta      uint64         // scratch for applications (e.g. next hop)
+	pool      *Pool
+	backing   [maxFrame]byte
 }
 
 const maxFrame = 2048 // covers standard MTU frames, like DPDK's default seg
@@ -41,33 +71,73 @@ func (m *Mbuf) SetFrame(frame []byte) {
 	m.Len = n
 }
 
-// Free returns the buffer to its pool. Double-free panics: it is always a
-// driver bug, and DPDK aborts on it too (in debug builds).
+// Free returns the buffer to its pool's shared ring. Double-free panics:
+// it is always a driver bug, and DPDK aborts on it too (in debug builds).
+// Threads with a Cache should prefer Cache.PutBurst (or Recycler.FreeBurst
+// for mixed-pool bursts), which batch the return.
 func (m *Mbuf) Free() {
 	if m.pool == nil {
 		panic("mbuf: double free or foreign buffer")
 	}
 	p := m.pool
 	m.pool = nil
-	p.put(m)
+	if !p.free.Enqueue(m) {
+		panic("mbuf: pool overflow (foreign or double-freed buffer)")
+	}
 }
 
-// Pool is a bounded free list of Mbufs.
+// FreeBurst returns a whole burst to its pools' shared rings in bulk: runs
+// of consecutive same-pool buffers go back in one ring enqueue instead of
+// one per packet. It is stateless — threads that free repeatedly should
+// hold a Recycler (or a Cache) so returns also coalesce across bursts.
+// Double-free panics, exactly like Free.
+func FreeBurst(ms []*Mbuf) {
+	for len(ms) > 0 {
+		p := ms[0].pool
+		if p == nil {
+			panic("mbuf: double free or foreign buffer")
+		}
+		k := 1
+		for k < len(ms) && ms[k].pool == p {
+			k++
+		}
+		span := ms[:k]
+		for _, m := range span {
+			m.pool = nil
+		}
+		p.putSpan(span)
+		ms = ms[k:]
+	}
+}
+
+// Pool is a fixed-size buffer pool over a lock-free MPMC ring. All methods
+// are safe for concurrent use; per-thread Caches (NewCache) front it for
+// burst workloads.
 type Pool struct {
-	mu   sync.Mutex
-	free []*Mbuf
+	free *ring.MPMC[*Mbuf]
 	size int
 
-	allocs, fails int64
+	allocs atomic.Int64
+	fails  atomic.Int64
 }
 
 // NewPool preallocates size buffers.
 func NewPool(size int) *Pool {
-	p := &Pool{size: size, free: make([]*Mbuf, 0, size)}
+	capacity := 2
+	for capacity < size {
+		capacity <<= 1
+	}
+	r, err := ring.NewMPMC[*Mbuf](capacity)
+	if err != nil {
+		panic(err) // unreachable: capacity is a power of two >= 2
+	}
+	p := &Pool{size: size, free: r}
 	for i := 0; i < size; i++ {
 		m := &Mbuf{}
 		m.Data = m.backing[:]
-		p.free = append(p.free, m)
+		if !p.free.Enqueue(m) {
+			panic("mbuf: pool ring undersized") // unreachable
+		}
 	}
 	return p
 }
@@ -75,45 +145,50 @@ func NewPool(size int) *Pool {
 // Size returns the configured pool size.
 func (p *Pool) Size() int { return p.size }
 
-// Available returns the current number of free buffers.
-func (p *Pool) Available() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.free)
-}
+// Available returns the number of free buffers currently in the shared
+// ring. Buffers resident in per-thread Caches are free but not counted
+// here — Available undercounts by up to the summed cache occupancy until
+// those caches spill or Flush. For an exact account, Flush every cache
+// first (retiring threads must anyway).
+func (p *Pool) Available() int { return p.free.Len() }
 
-// Get leases a buffer, or returns ErrExhausted.
+// Get leases a buffer from the shared ring, or returns ErrExhausted. This
+// is the degenerate single-element path; burst producers should lease
+// through a Cache.
 func (p *Pool) Get() (*Mbuf, error) {
-	p.mu.Lock()
-	n := len(p.free)
-	if n == 0 {
-		p.fails++
-		p.mu.Unlock()
+	m, ok := p.free.Dequeue()
+	if !ok {
+		p.fails.Add(1)
 		return nil, ErrExhausted
 	}
-	m := p.free[n-1]
-	p.free = p.free[:n-1]
-	p.allocs++
-	p.mu.Unlock()
-	m.pool = p
-	m.Len = 0
-	m.Meta = 0
+	p.allocs.Add(1)
+	p.lease(m)
 	return m, nil
 }
 
-func (p *Pool) put(m *Mbuf) {
-	p.mu.Lock()
-	if len(p.free) >= p.size {
-		p.mu.Unlock()
-		panic("mbuf: pool overflow (foreign or double-freed buffer)")
-	}
-	p.free = append(p.free, m)
-	p.mu.Unlock()
+// lease resets a buffer's per-lease state as it leaves the free store.
+func (p *Pool) lease(m *Mbuf) {
+	m.pool = p
+	m.Len = 0
+	m.Meta = 0
+	m.RxStampNs = 0
 }
 
-// Stats reports allocation counters: total successful leases and failures.
+// putSpan bulk-returns freed buffers (pool already cleared) to the ring.
+func (p *Pool) putSpan(ms []*Mbuf) {
+	if n := p.free.EnqueueBurst(ms); n != len(ms) {
+		panic("mbuf: pool overflow (foreign or double-freed buffer)")
+	}
+}
+
+// getSpan bulk-leases up to len(dst) buffers from the ring without
+// resetting them (the serving Cache resets on hand-out).
+func (p *Pool) getSpan(dst []*Mbuf) int { return p.free.DequeueBurst(dst) }
+
+// Stats reports allocation counters: total successful leases and failed
+// lease attempts (counted per buffer on the burst paths), aggregated
+// across the pool's direct path and every Cache with relaxed atomic adds —
+// one add per call or burst, never per packet.
 func (p *Pool) Stats() (allocs, fails int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.allocs, p.fails
+	return p.allocs.Load(), p.fails.Load()
 }

@@ -1,0 +1,68 @@
+package mbuf
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSimSubstrateNeverImportsMbuf pins the boundary that keeps the
+// experiment suite deterministic: the simulation substrate (the engine, the
+// modelled NIC, and the analytic model) must never reach the mbuf pool. The
+// pool is shared mutable state drained by real goroutines; if a simulated
+// experiment could touch it, its output would depend on scheduling and the
+// byte-identical-at-any-parallel gates would only pass by luck. The walk
+// covers the substrate roots and everything they transitively import inside
+// this module.
+func TestSimSubstrateNeverImportsMbuf(t *testing.T) {
+	roots := []string{"core", "sim", "nic", "model"}
+	const modPrefix = "metronome/internal/"
+
+	seen := map[string]bool{}
+	queue := append([]string(nil), roots...)
+	fset := token.NewFileSet()
+	for len(queue) > 0 {
+		pkg := queue[0]
+		queue = queue[1:]
+		if seen[pkg] {
+			continue
+		}
+		seen[pkg] = true
+		dir := filepath.Join("..", filepath.FromSlash(pkg))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("substrate package %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s/%s: %v", pkg, name, err)
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !strings.HasPrefix(path, modPrefix) {
+					continue
+				}
+				rel := strings.TrimPrefix(path, modPrefix)
+				if rel == "mbuf" {
+					t.Errorf("%s/%s imports %s: the sim substrate must not touch the pool", pkg, name, path)
+					continue
+				}
+				queue = append(queue, rel)
+			}
+		}
+	}
+	for _, r := range roots {
+		if !seen[r] {
+			t.Fatalf("root %s never scanned", r)
+		}
+	}
+}

@@ -18,16 +18,59 @@ var DefaultRSSKey = [40]byte{
 // per the Microsoft RSS specification: for every set bit i of the input
 // (MSB first), XOR into the result the 32-bit window of the key that starts
 // at bit offset i.
+//
+// Hashing runs on lookup tables precomputed by NewToeplitz — one 256-entry
+// table per input byte position, each entry the XOR of the key windows of
+// that byte value's set bits — so hashing a 12-byte RSS tuple costs 12
+// table loads and XORs instead of a 96-iteration bit walk. GF(2) linearity
+// makes the tables exact, and the bit-walk reference implementation stays
+// behind (hashSlow) as the equivalence-test oracle.
 type Toeplitz struct {
 	key [40]byte
+	// tab[i][v] is the hash contribution of byte value v at input byte
+	// position i. Positions past the key (i >= 40) contribute zero by the
+	// zero-padding rule, so 40 positions cover every input length.
+	tab [40][256]uint32
 }
 
-// NewToeplitz returns a hasher for key.
-func NewToeplitz(key [40]byte) *Toeplitz { return &Toeplitz{key: key} }
+// NewToeplitz returns a hasher for key, precomputing the per-(position,
+// byte-value) lookup tables (40x256 uint32, built once per hasher).
+func NewToeplitz(key [40]byte) *Toeplitz {
+	t := &Toeplitz{key: key}
+	for pos := range t.tab {
+		var w [8]uint32 // the key windows of this position's eight bits
+		for bit := 0; bit < 8; bit++ {
+			w[bit] = t.window(pos*8 + bit)
+		}
+		for v := 1; v < 256; v++ {
+			var h uint32
+			for bit := 0; bit < 8; bit++ {
+				if v&(0x80>>uint(bit)) != 0 {
+					h ^= w[bit]
+				}
+			}
+			t.tab[pos][v] = h
+		}
+	}
+	return t
+}
 
 // Hash computes the raw Toeplitz hash of input. With a 40-byte key the
 // meaningful input length is at most 36 bytes; RSS IPv4 tuples are 8 or 12.
 func (t *Toeplitz) Hash(input []byte) uint32 {
+	if len(input) > len(t.tab) {
+		input = input[:len(t.tab)] // tail positions hash against pure padding: zero
+	}
+	var result uint32
+	for i, b := range input {
+		result ^= t.tab[i][b]
+	}
+	return result
+}
+
+// hashSlow is the per-bit reference walk of the RSS specification, kept as
+// the oracle the table path is equivalence-tested against.
+func (t *Toeplitz) hashSlow(input []byte) uint32 {
 	var result uint32
 	for i, b := range input {
 		for bit := 0; bit < 8; bit++ {

@@ -64,6 +64,30 @@ func TestToeplitzLinearity(t *testing.T) {
 	}
 }
 
+func TestToeplitzTableMatchesBitWalk(t *testing.T) {
+	// The lookup-table Hash must agree bit-for-bit with the per-bit
+	// reference walk of the RSS spec, over random keys and every input
+	// length from empty through past-the-key (len 45 > 40 exercises the
+	// truncation to zero-contribution positions).
+	r := xrand.New(17)
+	for trial := 0; trial < 20; trial++ {
+		var key [40]byte
+		for i := range key {
+			key[i] = byte(r.Intn(256))
+		}
+		h := NewToeplitz(key)
+		for length := 0; length <= 45; length++ {
+			in := make([]byte, length)
+			for i := range in {
+				in[i] = byte(r.Intn(256))
+			}
+			if got, want := h.Hash(in), h.hashSlow(in); got != want {
+				t.Fatalf("trial %d len %d: table hash %08x, bit-walk %08x", trial, length, got, want)
+			}
+		}
+	}
+}
+
 func TestQueueForSpread(t *testing.T) {
 	// Random flows must spread roughly evenly over queues — RSS would be
 	// useless otherwise, and the multiqueue experiments depend on it.

@@ -126,11 +126,13 @@ type Handler func(batch []*mbuf.Mbuf)
 // only valid until it returns (the retrieval goroutine reuses it).
 type EmitFunc func(q int, ms []*mbuf.Mbuf, verdicts []apps.Verdict)
 
-// FreeAll is the default EmitFunc: recycle every mbuf into its pool.
+// FreeAll recycles every mbuf of the burst into its pool in bulk
+// (mbuf.FreeBurst: one ring enqueue per same-pool run, not one per
+// packet). It is the stateless form of what a nil emit does on the
+// processor path — there, each retrieval goroutine additionally coalesces
+// returns across bursts through a per-goroutine mbuf.Recycler cache.
 func FreeAll(q int, ms []*mbuf.Mbuf, verdicts []apps.Verdict) {
-	for _, m := range ms {
-		m.Free()
-	}
+	mbuf.FreeBurst(ms)
 }
 
 // Config tunes the runner; zero fields take the paper's defaults.
@@ -271,7 +273,10 @@ func New(queues []RxQueue, handler Handler, cfg Config) *Runner {
 // drains go straight to procs[q].ProcessBurst — one virtual dispatch per
 // burst, verdicts written into a retrieval-goroutine-owned buffer, zero
 // allocations per burst — and then to emit for disposal. A nil emit
-// defaults to FreeAll (recycle into the pool).
+// recycles every mbuf through a per-goroutine mempool cache: the whole
+// verdict burst returns in one bulk PutBurst, spilled to the shared pool
+// ring in watermark-sized spans (caches flush when a goroutine parks or
+// retires, so elastic shrinks leak nothing).
 //
 // One processor per queue is the sharding contract: the per-queue trylock
 // serialises every drain of queue q, so procs[q] is single-writer and needs
@@ -288,9 +293,8 @@ func NewProc(queues []RxQueue, procs []apps.BurstProcessor, emit EmitFunc, cfg C
 			panic("runtime: nil processor")
 		}
 	}
-	if emit == nil {
-		emit = FreeAll
-	}
+	// A nil emit stays nil: threadLoop routes it to the per-goroutine
+	// recycler's bulk-free path (FreeAll semantics, batched).
 	return newRunner(queues, nil, procs, emit, cfg)
 }
 
@@ -589,6 +593,12 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 	rng := xrand.New(xrand.SeedFrom(r.cfg.Seed, uint64(id), uint64(len(r.queues))))
 	buf := make([]*mbuf.Mbuf, r.cfg.Burst)
 	var verdicts []apps.Verdict
+	// The default disposal path returns each verdict burst through this
+	// goroutine's recycler: one bulk PutBurst per burst into a per-pool
+	// magazine cache, spilled to the shared ring in spans. Flushed on every
+	// park and on exit so elastic retirement never strands buffers.
+	var recycle mbuf.Recycler
+	defer recycle.Flush()
 	if r.procs != nil {
 		// The processor path's verdict buffer is goroutine-owned and reused
 		// for every burst — the steady state allocates nothing.
@@ -599,8 +609,10 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 	for ctx.Err() == nil {
 		if id >= int(r.teamSize.Load()) {
 			// Elastically retired: finish nothing (we hold no lock here),
-			// park until a resize re-admits us, then re-home — the group
-			// layout may have moved while we were out.
+			// return any cached buffers to the shared pool, park until a
+			// resize re-admits us, then re-home — the group layout may have
+			// moved while we were out.
+			recycle.Flush()
 			if !r.park(ctx, id) {
 				return
 			}
@@ -677,28 +689,34 @@ func (r *Runner) threadLoop(ctx context.Context, id int) {
 			if n == 0 {
 				break
 			}
-			if r.procs != nil {
-				r.procs[q].ProcessBurst(buf[:n], verdicts[:n])
-				r.emit(q, buf[:n], verdicts[:n])
-			} else {
-				r.handler(buf[:n])
-			}
 			r.Stats.Packets.Add(uint64(n))
 			r.Stats.Bursts.Add(1)
 			if r.pubGauges(q) {
 				r.bus.AddRx(q, uint64(n))
 				// Per-packet retrieval latency into the bus histogram: one
-				// wall-clock read per burst, one atomic add per stamped
-				// packet. Unstamped mbufs (producers that skip RxStamp) are
-				// excluded rather than recorded as garbage epochs.
-				now := time.Now()
+				// monotonic-clock read per burst, one atomic add per stamped
+				// packet. Unstamped mbufs (producers that leave RxStampNs
+				// zero) are excluded rather than recorded as garbage epochs.
+				// Stamps are read BEFORE dispatch: emit recycles the mbufs,
+				// and a recycled buffer's stamp belongs to its next lease.
+				now := mbuf.Nanotime()
 				for _, m := range buf[:n] {
-					if !m.RxStamp.IsZero() {
-						if lat := now.Sub(m.RxStamp); lat > 0 {
+					if m.RxStampNs > 0 {
+						if lat := now - m.RxStampNs; lat > 0 {
 							r.bus.RecordLatency(q, uint64(lat))
 						}
 					}
 				}
+			}
+			if r.procs != nil {
+				r.procs[q].ProcessBurst(buf[:n], verdicts[:n])
+				if r.emit != nil {
+					r.emit(q, buf[:n], verdicts[:n])
+				} else {
+					recycle.FreeBurst(buf[:n])
+				}
+			} else {
+				r.handler(buf[:n])
 			}
 		}
 		ended := r.nanotime()

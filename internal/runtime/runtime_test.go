@@ -838,7 +838,7 @@ func TestBusPublishesOccAvgLive(t *testing.T) {
 
 // TestLiveBusLatencyHistogram is the live half of the fidelity-plane
 // equivalence contract: the drain loop measures per-packet latency from
-// RxStamp and publishes it into the same bus bucket layout the sim uses.
+// RxStampNs and publishes it into the same bus bucket layout the sim uses.
 // Stamps are scripted one second in the past — three orders of magnitude
 // above drain jitter, far inside one ~31ms-wide bucket — so the recorded
 // quantiles are pinned; unstamped packets must be excluded, not recorded
@@ -867,7 +867,7 @@ func TestLiveBusLatencyHistogram(t *testing.T) {
 		}
 		m.SetFrame([]byte{byte(sent)})
 		if sent < stamped {
-			m.RxStamp = time.Now().Add(-time.Second)
+			m.RxStampNs = mbuf.Nanotime() - int64(time.Second)
 		}
 		if !bench.rings[0].Enqueue(m) {
 			m.Free()

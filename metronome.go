@@ -54,8 +54,19 @@ import (
 type (
 	// Mbuf is one packet buffer leased from a Pool.
 	Mbuf = mbuf.Mbuf
-	// Pool is a fixed-size packet-buffer pool (rte_mempool analogue).
+	// Pool is a fixed-size packet-buffer pool (rte_mempool analogue): a
+	// lock-free shared ring fronted by per-thread magazine caches.
 	Pool = mbuf.Pool
+	// PoolCache is a per-goroutine magazine over a Pool (the rte_mempool
+	// per-lcore cache analogue): GetBurst/PutBurst serve and absorb whole
+	// bursts locally and touch the shared ring only in watermark-sized
+	// spans. Build one per producer or consumer goroutine with
+	// Pool.NewCache; retiring goroutines must Flush.
+	PoolCache = mbuf.Cache
+	// PoolRecycler batches frees across bursts and pools for consumer
+	// goroutines (one per goroutine; the zero value is ready; Flush on
+	// retirement).
+	PoolRecycler = mbuf.Recycler
 	// RxQueue is any non-blocking burst packet source.
 	RxQueue = runtime.RxQueue
 	// RingQueue adapts a Ring to RxQueue.
@@ -88,6 +99,17 @@ type (
 
 // NewPool preallocates n packet buffers.
 func NewPool(n int) *Pool { return mbuf.NewPool(n) }
+
+// FreeMbufBurst returns a whole burst to its pools in bulk — one ring
+// enqueue per same-pool run instead of one per packet. Goroutines that free
+// repeatedly should hold a PoolRecycler (or a PoolCache) instead, so
+// returns also batch across bursts.
+func FreeMbufBurst(ms []*Mbuf) { mbuf.FreeBurst(ms) }
+
+// Nanotime reads the process-local monotonic clock Mbuf.RxStampNs is
+// denominated in: producers stamp arrivals with it, consumers subtract
+// their own read to get a retrieval latency.
+func Nanotime() int64 { return mbuf.Nanotime() }
 
 // NewRing builds a packet ring; capacity must be a power of two >= 2.
 func NewRing(capacity int) (*Ring, error) {
