@@ -24,23 +24,41 @@ type Cache struct {
 // NewCache builds a per-thread magazine cache over the pool with the
 // default watermark (clamped to the pool size, so tiny pools get tiny
 // caches). The caller owns single-threading it.
+//
+// Size the pool for its caches, the rte_mempool rule: a cache retains up
+// to 2*watermark-1 free buffers between spills (it only drains fully on
+// Flush), so a pool serving n caches needs size >= n*(2*watermark-1) plus
+// the deployment's in-flight working set, or producers stall on a ring
+// whose free buffers are all parked in idle caches. Deployments whose
+// pools are tight relative to their thread count should size the
+// watermark explicitly with NewCacheSize.
 func (p *Pool) NewCache() *Cache {
-	keep := defaultWatermark
-	if keep > p.size {
-		keep = p.size
+	return p.NewCacheSize(defaultWatermark)
+}
+
+// NewCacheSize builds a per-thread magazine cache with an explicit
+// watermark: the cache refills in watermark-sized spans on a miss and
+// spills back down to the watermark when it fills to twice that level, so
+// its steady-state residency is watermark..2*watermark-1 buffers. The
+// watermark is clamped to [1, pool size]. See NewCache for the pool-sizing
+// rule relating watermarks, cache count, and pool size.
+func (p *Pool) NewCacheSize(watermark int) *Cache {
+	if watermark > p.size {
+		watermark = p.size
 	}
-	if keep < 1 {
-		keep = 1
+	if watermark < 1 {
+		watermark = 1
 	}
-	return &Cache{pool: p, buf: make([]*Mbuf, 0, 2*keep), keep: keep}
+	return &Cache{pool: p, buf: make([]*Mbuf, 0, 2*watermark), keep: watermark}
 }
 
 // GetBurst leases up to len(dst) buffers into dst and returns the count —
 // rte_mempool_get_bulk with a cache. Local hits cost no atomics; a miss
 // pulls the remainder straight from the shared ring in one bulk dequeue
 // and refills the cache with one watermark-sized span for the next calls.
-// A short count means the pool (ring plus this cache) is exhausted; the
-// shortfall is counted into Stats as fails.
+// A short count means the pool (ring plus this cache) is exhausted; each
+// short call counts one fail into Stats (an exhaustion event, not one per
+// missing buffer, so retry loops don't inflate the counter).
 func (c *Cache) GetBurst(dst []*Mbuf) int {
 	want := len(dst)
 	if want == 0 {
@@ -70,7 +88,7 @@ func (c *Cache) GetBurst(dst []*Mbuf) int {
 	}
 	c.pool.allocs.Add(int64(n))
 	if n < want {
-		c.pool.fails.Add(int64(want - n))
+		c.pool.fails.Add(1)
 	}
 	return n
 }

@@ -75,15 +75,23 @@ func (m *Mbuf) SetFrame(frame []byte) {
 // it is always a driver bug, and DPDK aborts on it too (in debug builds).
 // Threads with a Cache should prefer Cache.PutBurst (or Recycler.FreeBurst
 // for mixed-pool bursts), which batch the return.
+//
+// Free goes through the ring's burst path rather than the single-element
+// Enqueue: Enqueue reports false for a slot a concurrent DequeueBurst has
+// reserved but not yet published — a legal, momentary state, not overflow —
+// while the burst path waits that peer out and comes up short only on a
+// true capacity shortfall. Overflow (a foreign or double-freed buffer
+// pushing the ring past the pool size) therefore still panics, but a
+// transient ring state never does.
 func (m *Mbuf) Free() {
 	if m.pool == nil {
 		panic("mbuf: double free or foreign buffer")
 	}
 	p := m.pool
 	m.pool = nil
-	if !p.free.Enqueue(m) {
-		panic("mbuf: pool overflow (foreign or double-freed buffer)")
-	}
+	var one [1]*Mbuf
+	one[0] = m
+	p.putSpan(one[:])
 }
 
 // FreeBurst returns a whole burst to its pools' shared rings in bulk: runs
@@ -155,15 +163,23 @@ func (p *Pool) Available() int { return p.free.Len() }
 // Get leases a buffer from the shared ring, or returns ErrExhausted. This
 // is the degenerate single-element path; burst producers should lease
 // through a Cache.
+//
+// Like Free, Get uses the ring's burst machinery so that a buffer a
+// concurrent PutBurst spill has reserved into the ring but not yet
+// published is awaited, not misread as exhaustion. ErrExhausted therefore
+// means the ring really held nothing at the attempt — though buffers may
+// still be resident in per-thread Caches (see Available), so callers that
+// must not drop should retry after yielding rather than charge a drop on
+// the first failure.
 func (p *Pool) Get() (*Mbuf, error) {
-	m, ok := p.free.Dequeue()
-	if !ok {
+	var one [1]*Mbuf
+	if p.getSpan(one[:]) == 0 {
 		p.fails.Add(1)
 		return nil, ErrExhausted
 	}
 	p.allocs.Add(1)
-	p.lease(m)
-	return m, nil
+	p.lease(one[0])
+	return one[0], nil
 }
 
 // lease resets a buffer's per-lease state as it leaves the free store.
@@ -185,10 +201,13 @@ func (p *Pool) putSpan(ms []*Mbuf) {
 // resetting them (the serving Cache resets on hand-out).
 func (p *Pool) getSpan(dst []*Mbuf) int { return p.free.DequeueBurst(dst) }
 
-// Stats reports allocation counters: total successful leases and failed
-// lease attempts (counted per buffer on the burst paths), aggregated
-// across the pool's direct path and every Cache with relaxed atomic adds —
-// one add per call or burst, never per packet.
+// Stats reports allocation counters, aggregated across the pool's direct
+// path and every Cache with relaxed atomic adds — one add per call or
+// burst, never per packet. allocs counts buffers leased; fails counts
+// distinct exhaustion events: one per failed Get and one per short
+// GetBurst call regardless of the shortfall, so busy-retry loops around
+// GetBurst inflate fails by at most one per spin and the counter keeps
+// approximating "times a caller found the pool empty".
 func (p *Pool) Stats() (allocs, fails int64) {
 	return p.allocs.Load(), p.fails.Load()
 }
